@@ -1,0 +1,1 @@
+bench/experiments.ml: Annotate Cost Float Imdb Init Label Lazy Legodb List Logical Mapping Optimizer Printf Rewrite Rschema Search String Workload Xq_parse Xq_translate Xschema Xtype

@@ -1,0 +1,446 @@
+(* Reproduction of every table and figure in the paper's evaluation
+   (see DESIGN.md §4 for the experiment index and the expected shapes,
+   and EXPERIMENTS.md for recorded results). *)
+
+open Legodb
+
+let params = Cost.default_params
+
+let annotated stats = Annotate.schema stats Imdb.Schema.schema
+
+(* cost of one query under a configuration; indexes are granted for the
+   equality columns of the whole workload being studied, uniformly
+   across configurations *)
+let query_costs ?(workload_indexes = false) schema queries =
+  match Mapping.of_pschema schema with
+  | Error es -> failwith (String.concat "; " es)
+  | Ok m ->
+      let translated = List.map (Xq_translate.translate m) queries in
+      (* keys and foreign keys only by default, as the mapping generates
+         them; experiments where the paper says selections "can be
+         pushed" grant indexes on the workload's equality columns *)
+      let catalog =
+        if workload_indexes then
+          Rschema.add_indexes m.Mapping.catalog
+            (Xq_translate.equality_columns translated)
+        else m.Mapping.catalog
+      in
+      List.map (fun q -> snd (Optimizer.query_cost ~params catalog q)) translated
+
+let workload_cost schema w = Search.pschema_cost ~params ~workload:w schema
+
+(* ------------------------------------------------------------------ *)
+(* configurations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let all_inlined stats = Init.all_inlined (annotated stats)
+
+let find_choice schema ty =
+  match
+    List.find_opt
+      (fun (_, t) -> match t with Xtype.Choice _ -> true | _ -> false)
+      (Xtype.locations (Xschema.find schema ty))
+  with
+  | Some (loc, _) -> loc
+  | None -> failwith ("no union in " ^ ty)
+
+(* Figure 4(c): the Show union distributed, everything else inlined *)
+let union_distributed stats =
+  let ps0 = Init.normalize (annotated stats) in
+  let dist = Rewrite.distribute_union ps0 ~tname:"Show" ~loc:(find_choice ps0 "Show") in
+  Init.all_inlined ~union_to_options:false dist
+
+(* Figure 4(b)-style: all inlined, NYT reviews materialized out of the
+   wildcard *)
+let wildcard_materialized stats ~tag =
+  let inl = all_inlined stats in
+  let body = Xschema.find inl "Reviews" in
+  let loc =
+    match
+      List.find_opt
+        (fun (_, t) ->
+          match t with
+          | Xtype.Elem { label = Label.Any | Label.Any_except _; _ } -> true
+          | _ -> false)
+        (Xtype.locations body)
+    with
+    | Some (l, _) -> l
+    | None -> failwith "no wildcard in Reviews"
+  in
+  Rewrite.materialize_wildcard inl ~tname:"Reviews" ~loc ~tag
+
+(* ------------------------------------------------------------------ *)
+(* printing helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row1 fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: estimated costs of the Section 2 queries and workloads    *)
+(* under the three storage mappings of Figure 4, normalized by the     *)
+(* all-inlined mapping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  header "Figure 6 -- normalized costs, storage mappings of Figure 4";
+  let stats =
+    Imdb.Stats.with_review_sources Imdb.Stats.full ~total:11250
+      [ ("nyt", 0.125); ("suntimes", 0.875) ]
+  in
+  let queries = List.init 4 (fun i -> Imdb.Queries.fig5 (i + 1)) in
+  let configs =
+    [
+      ("Map1 (all-inlined, 4a)", all_inlined stats);
+      ("Map2 (nyt wildcard, 4b)", wildcard_materialized stats ~tag:"nyt");
+      ("Map3 (union dist., 4c)", union_distributed stats);
+    ]
+  in
+  let per_query = List.map (fun (_, s) -> query_costs s queries) configs in
+  let w_costs w = List.map (fun (_, s) -> workload_cost s w) configs in
+  let w1 = w_costs Imdb.Workloads.w1 and w2 = w_costs Imdb.Workloads.w2 in
+  let base = List.hd per_query in
+  let base_w1 = List.hd w1 and base_w2 = List.hd w2 in
+  row1 "%-10s %-26s %-26s %-26s\n" "" "Storage Map 1" "Storage Map 2" "Storage Map 3";
+  List.iteri
+    (fun qi qname ->
+      let cells =
+        List.map (fun costs -> List.nth costs qi /. List.nth base qi) per_query
+      in
+      row1 "%-10s %-26.2f %-26.2f %-26.2f\n" qname (List.nth cells 0)
+        (List.nth cells 1) (List.nth cells 2))
+    [ "Q1"; "Q2"; "Q3"; "Q4" ];
+  row1 "%-10s %-26.2f %-26.2f %-26.2f\n" "W1" (List.nth w1 0 /. base_w1)
+    (List.nth w1 1 /. base_w1) (List.nth w1 2 /. base_w1);
+  row1 "%-10s %-26.2f %-26.2f %-26.2f\n" "W2" (List.nth w2 0 /. base_w2)
+    (List.nth w2 1 /. base_w2) (List.nth w2 2 /. base_w2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10: greedy cost per iteration, greedy-so vs greedy-si,       *)
+(* lookup and publish workloads                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig10 () =
+  header "Figure 10 -- cost at each greedy iteration";
+  let schema = annotated Imdb.Stats.full in
+  let run name workload =
+    let si = Search.greedy_si ~params ~workload schema in
+    let so = Search.greedy_so ~params ~workload schema in
+    Printf.printf "\n[%s workload]\n%-5s %-16s %-16s\n" name "iter" "greedy-si" "greedy-so";
+    let costs trace = List.map (fun (e : Search.trace_entry) -> e.cost) trace in
+    let csi = costs si.Search.trace and cso = costs so.Search.trace in
+    let n = max (List.length csi) (List.length cso) in
+    for i = 0 to n - 1 do
+      let cell l = match List.nth_opt l i with
+        | Some c -> Printf.sprintf "%.1f" c
+        | None -> "-" in
+      Printf.printf "%-5d %-16s %-16s\n" i (cell csi) (cell cso)
+    done;
+    Printf.printf "final: greedy-si %.1f (%d iters), greedy-so %.1f (%d iters)\n"
+      si.Search.cost (List.length si.Search.trace - 1)
+      so.Search.cost (List.length so.Search.trace - 1)
+  in
+  run "lookup" Imdb.Workloads.lookup;
+  run "publish" Imdb.Workloads.publish
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: sensitivity of fixed configurations across the           *)
+(* lookup:publish workload spectrum                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 ?(grid = 11) () =
+  header "Figure 11 -- sensitivity to workload variations";
+  let schema = annotated Imdb.Stats.full in
+  let design k =
+    (Search.greedy_si ~params ~threshold:0.01
+       ~workload:(Imdb.Workloads.mixed k) schema)
+      .Search.schema
+  in
+  Printf.printf "designing C[0.25], C[0.50], C[0.75]...\n%!";
+  let c25 = design 0.25 and c50 = design 0.5 and c75 = design 0.75 in
+  let inlined = Init.all_inlined schema in
+  let ks = List.init grid (fun i -> float_of_int i /. float_of_int (grid - 1)) in
+  Printf.printf "%-6s %-12s %-12s %-12s %-14s %-12s\n" "k" "C[0.25]" "C[0.50]"
+    "C[0.75]" "ALL-INLINED" "OPT";
+  List.iter
+    (fun k ->
+      let w = Imdb.Workloads.mixed k in
+      let cost s = workload_cost s w in
+      let opt =
+        (Search.greedy_si ~params ~threshold:0.01 ~workload:w schema).Search.cost
+      in
+      Printf.printf "%-6.2f %-12.1f %-12.1f %-12.1f %-14.1f %-12.1f\n%!" k
+        (cost c25) (cost c50) (cost c75) (cost inlined) opt)
+    ks
+
+(* ------------------------------------------------------------------ *)
+(* Figure 13: union-distributed configuration vs all-inlined, per      *)
+(* query (cost as a percentage of the all-inlined cost)                *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  header "Figure 13 -- union distribution vs all-inlined (% of all-inlined)";
+  let stats = Imdb.Stats.full in
+  let inl = all_inlined stats and dist = union_distributed stats in
+  let qs = [ 4; 5; 6; 7; 13; 16; 19 ] in
+  let queries = List.map Imdb.Queries.q qs in
+  let ci = query_costs inl queries and cd = query_costs dist queries in
+  Printf.printf "%-6s %-14s %-14s %-10s\n" "query" "all-inlined" "union-dist"
+    "percent";
+  List.iteri
+    (fun i qn ->
+      let a = List.nth ci i and b = List.nth cd i in
+      Printf.printf "Q%-5d %-14.1f %-14.1f %-10.1f\n" qn a b (100. *. b /. a))
+    qs
+
+(* ------------------------------------------------------------------ *)
+(* Figure 14: all-inlined vs repetition-split while the number of akas *)
+(* grows (aka made {1,*} so the mandatory first occurrence exists, as  *)
+(* in the paper's example)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let aka_plus_schema =
+  (* the IMDB schema with aka{1,*} instead of aka{0,*} *)
+  lazy
+    (let body = Xschema.find Imdb.Schema.schema "Show" in
+     let loc =
+       match
+         List.find_opt
+           (fun (_, t) ->
+             match t with
+             | Xtype.Rep (Xtype.Elem { label = Label.Name "aka"; _ }, _) -> true
+             | _ -> false)
+           (Xtype.locations body)
+       with
+       | Some (l, _) -> l
+       | None -> failwith "no aka repetition"
+     in
+     let aka =
+       match Xtype.subterm body loc with
+       | Some (Xtype.Rep (inner, _)) -> inner
+       | _ -> assert false
+     in
+     Xschema.update Imdb.Schema.schema "Show"
+       (Xtype.replace body loc (Xtype.rep aka Xtype.plus)))
+
+let split_config schema =
+  (* normalize, split the aka repetition, inline the mandatory copy *)
+  let ps0 = Init.normalize schema in
+  let loc =
+    match
+      List.find_opt
+        (fun (_, t) ->
+          match t with
+          | Xtype.Rep (Xtype.Ref "Aka", o) -> o.Xtype.lo >= 1
+          | _ -> false)
+        (Xtype.locations (Xschema.find ps0 "Show"))
+    with
+    | Some (l, _) -> l
+    | None -> failwith "no Aka{1,*} in ps0"
+  in
+  let split = Rewrite.split_repetition ps0 ~tname:"Show" ~loc in
+  Init.all_inlined ~union_to_options:true split
+
+let fig14 () =
+  header "Figure 14 -- all-inlined vs repetition-split, growing akas";
+  let lookup_q =
+    Xq_parse.parse ~name:"aka-lookup"
+      "FOR $v IN document(\"x\")/imdb/show WHERE $v/title = c1 RETURN $v/aka"
+  in
+  let publish_q = Imdb.Queries.q 16 in
+  Printf.printf "%-9s %-13s %-13s %-13s %-13s\n" "akas" "lookup/inl"
+    "lookup/split" "publish/inl" "publish/split";
+  List.iter
+    (fun akas ->
+      let stats = Imdb.Stats.with_aka_count Imdb.Stats.full akas in
+      let schema = Annotate.schema stats (Lazy.force aka_plus_schema) in
+      let inl = Init.all_inlined schema in
+      let split = split_config schema in
+      let qs = [ lookup_q; publish_q ] in
+      match
+        ( query_costs ~workload_indexes:true inl qs,
+          query_costs ~workload_indexes:true split qs )
+      with
+      | [ li; pi ], [ ls; ps ] ->
+          Printf.printf "%-9d %-13.1f %-13.1f %-13.1f %-13.1f\n" akas li ls pi ps
+      | _ -> assert false)
+    [ 40_000; 80_000; 160_000; 320_000; 640_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: all-inlined vs wildcard-materialized for the NYT-reviews   *)
+(* query, varying the share of NYT reviews and the review count        *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  header "Table 2 -- all-inlined vs wildcard-materialized (NYT reviews)";
+  let query =
+    Xq_parse.parse ~name:"nyt-1999"
+      "FOR $v IN document(\"x\")/imdb/show WHERE $v/year = 1999 RETURN $v/title, $v/reviews/nyt"
+  in
+  Printf.printf "%-9s %-9s %-13s %-13s\n" "reviews" "nyt%" "inlined" "wildcard";
+  List.iter
+    (fun total ->
+      List.iter
+        (fun pct ->
+          let stats =
+            Imdb.Stats.with_review_sources Imdb.Stats.full ~total
+              [ ("nyt", pct /. 100.); ("suntimes", 1. -. (pct /. 100.)) ]
+          in
+          let inl = all_inlined stats in
+          let wild = wildcard_materialized stats ~tag:"nyt" in
+          match (query_costs inl [ query ], query_costs wild [ query ]) with
+          | [ ci ], [ cw ] ->
+              Printf.printf "%-9d %-9.1f %-13.2f %-13.2f\n" total pct ci cw
+          | _ -> assert false)
+        [ 50.; 25.; 12.5 ])
+    [ 10_000; 100_000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the modelling decisions of DESIGN.md §4b, each toggled   *)
+(* in isolation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let no_sharing_cost catalog (q : Logical.query) =
+  (* every block costed independently: what happens without the
+     common-subexpression sharing of the MQO-style optimizer *)
+  List.fold_left
+    (fun acc b ->
+      let r = Optimizer.optimize_block ~params catalog b in
+      acc +. Cost.total params r.Optimizer.cost)
+    0. q.Logical.blocks
+
+let variable_width catalog =
+  (* what the estimates look like if NULLs cost nothing (variable-width
+     storage instead of the paper-era fixed-width CHAR columns) *)
+  {
+    Rschema.tables =
+      List.map
+        (fun (t : Rschema.table) ->
+          {
+            t with
+            Rschema.columns =
+              List.map
+                (fun (c : Rschema.column) ->
+                  let st = c.Rschema.stats in
+                  {
+                    c with
+                    Rschema.stats =
+                      {
+                        st with
+                        Rschema.avg_width =
+                          Float.max 1. (st.Rschema.avg_width *. (1. -. st.Rschema.null_frac));
+                      };
+                  })
+                t.Rschema.columns;
+          })
+        catalog.Rschema.tables;
+  }
+
+let ablation () =
+  header "Ablations -- the cost-model choices of DESIGN.md, toggled";
+  let schema = annotated Imdb.Stats.full in
+
+  (* 1. search strategies *)
+  Printf.printf "\n[search strategy: final workload cost (tables)]\n";
+  Printf.printf "%-12s %-20s %-20s %-20s\n" "workload" "greedy-si" "greedy-so" "beam(w=4)";
+  List.iter
+    (fun (name, w) ->
+      let final (r : Search.result) =
+        Printf.sprintf "%.1f (%d)" r.Search.cost
+          (List.nth r.Search.trace (List.length r.Search.trace - 1)).Search.tables
+      in
+      let si = Search.greedy_si ~params ~workload:w schema in
+      let so = Search.greedy_so ~params ~workload:w schema in
+      let b =
+        Search.beam ~params ~width:4 ~kinds:[ Legodb.Space.K_outline ]
+          ~workload:w (Init.all_inlined schema)
+      in
+      Printf.printf "%-12s %-20s %-20s %-20s\n%!" name (final si) (final so) (final b))
+    [
+      ("lookup", Imdb.Workloads.lookup);
+      ("publish", Imdb.Workloads.publish);
+      ("mixed 0.5", Imdb.Workloads.mixed 0.5);
+    ];
+
+  (* 2. common-subexpression sharing *)
+  Printf.printf "\n[shared subexpressions across a query's blocks]\n";
+  Printf.printf "%-8s %-14s %-14s %-14s\n" "query" "with CSE" "without" "ratio";
+  let dist = union_distributed Imdb.Stats.full in
+  (match Mapping.of_pschema dist with
+  | Error es -> failwith (String.concat ";" es)
+  | Ok m ->
+      List.iter
+        (fun qn ->
+          let q = Xq_translate.translate m (Imdb.Queries.q qn) in
+          let with_cse = snd (Optimizer.query_cost ~params m.Mapping.catalog q) in
+          let without = no_sharing_cost m.Mapping.catalog q in
+          Printf.printf "Q%-7d %-14.1f %-14.1f %-14.2f\n" qn with_cse without
+            (without /. with_cse))
+        [ 13; 16; 19 ]);
+
+  (* 3. fixed-width vs variable-width columns *)
+  Printf.printf "\n[fixed-width CHAR vs variable-width storage]\n";
+  Printf.printf "%-8s %-16s %-16s\n" "query" "fixed (paper)" "variable";
+  let inl_m =
+    match Mapping.of_pschema (all_inlined Imdb.Stats.full) with
+    | Ok m -> m
+    | Error es -> failwith (String.concat ";" es)
+  in
+  List.iter
+    (fun qn ->
+      let q = Xq_translate.translate inl_m (Imdb.Queries.q qn) in
+      let fixed = snd (Optimizer.query_cost ~params inl_m.Mapping.catalog q) in
+      let var =
+        snd (Optimizer.query_cost ~params (variable_width inl_m.Mapping.catalog) q)
+      in
+      Printf.printf "Q%-7d %-16.1f %-16.1f\n" qn fixed var)
+    [ 4; 16 ];
+
+  (* 4. workload-derived indexes *)
+  Printf.printf "\n[indexes on the workload's equality columns]\n";
+  let inl = all_inlined Imdb.Stats.full in
+  let without = Search.pschema_cost ~params ~workload:Imdb.Workloads.lookup inl in
+  let with_idx =
+    Search.pschema_cost ~params ~workload_indexes:true
+      ~workload:Imdb.Workloads.lookup inl
+  in
+  Printf.printf "lookup workload, all-inlined: keys/fks only %.1f, +eq-column indexes %.1f\n"
+    without with_idx;
+
+  (* 5. order columns *)
+  Printf.printf "\n[document-order columns]\n";
+  (match
+     ( Mapping.of_pschema inl,
+       Mapping.of_pschema ~order_columns:true inl )
+   with
+  | Ok plain, Ok ordered ->
+      let cost m =
+        let q = Xq_translate.translate m (Imdb.Queries.q 16) in
+        snd (Optimizer.query_cost ~params m.Mapping.catalog q)
+      in
+      Printf.printf "publish Q16: plain %.1f, with doc_order %.1f (+%.1f%%)\n"
+        (cost plain) (cost ordered)
+        (100. *. ((cost ordered /. cost plain) -. 1.))
+  | _ -> failwith "mapping failed");
+
+  (* 6. update-aware design *)
+  Printf.printf "\n[update weight pulls the design toward fewer tables]\n";
+  Printf.printf "%-14s %-12s %-10s\n" "insert weight" "cost" "tables";
+  (* actor inserts write the Actor/Played/Award subtree — the same
+     tables the Q12 workload wants to carve up *)
+  let ins = Legodb.Xq_parse.parse_update ~name:"ins" "INSERT imdb/actor" in
+  let w = Workload.of_queries [ Imdb.Queries.q 12 ] in
+  List.iter
+    (fun weight ->
+      let r =
+        Search.greedy_si ~params ~workload:w
+          ~updates:(if weight = 0. then [] else [ (ins, weight) ])
+          schema
+      in
+      let tables =
+        (List.nth r.Search.trace (List.length r.Search.trace - 1)).Search.tables
+      in
+      Printf.printf "%-14.0f %-12.1f %-10d\n%!" weight r.Search.cost tables)
+    [ 0.; 5.; 20.; 80. ]

@@ -1,0 +1,115 @@
+(* Benchmark harness: `dune exec bench/main.exe` runs every experiment
+   of the paper's evaluation (Figures 6/10/11/13/14, Table 2) and a
+   Bechamel micro-benchmark suite.  Pass experiment names to run a
+   subset: fig6 fig10 fig11 fig13 fig14 table2 micro. *)
+
+open Legodb
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  print_endline "\nMicro-benchmarks (Bechamel)\n===========================";
+  let doc = Imdb.Gen.generate Imdb.Gen.default in
+  let doc_text = Xml.to_string doc in
+  let stats = Collector.collect doc in
+  let annotated = Annotate.schema stats Imdb.Schema.schema in
+  let inlined = Init.all_inlined annotated in
+  let m =
+    match Mapping.of_pschema inlined with
+    | Ok m -> m
+    | Error es -> failwith (String.concat "; " es)
+  in
+  let db = Storage.refresh_stats (Shred.shred m doc) in
+  let q16 = Xq_translate.translate m (Imdb.Queries.q 16) in
+  let cat = Storage.catalog db in
+  let q16_plans =
+    List.map
+      (fun (b : Logical.block) ->
+        ((Optimizer.optimize_block cat b).Optimizer.plan, b.Logical.out))
+      q16.Logical.blocks
+  in
+  let workload = Imdb.Workloads.lookup in
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"legodb"
+      [
+        Test.make ~name:"xml-parse (5900 elems)"
+          (Staged.stage (fun () -> ignore (Xml_parse.parse_string doc_text)));
+        Test.make ~name:"validate"
+          (Staged.stage (fun () ->
+               ignore (Validate.document Imdb.Schema.schema doc)));
+        Test.make ~name:"collect-stats"
+          (Staged.stage (fun () -> ignore (Collector.collect doc)));
+        Test.make ~name:"shred"
+          (Staged.stage (fun () -> ignore (Shred.shred m doc)));
+        Test.make ~name:"publish-document"
+          (Staged.stage (fun () -> ignore (Publish.document db m)));
+        Test.make ~name:"translate-q13"
+          (Staged.stage (fun () ->
+               ignore (Xq_translate.translate m (Imdb.Queries.q 13))));
+        Test.make ~name:"optimize-q13"
+          (Staged.stage (fun () ->
+               let q = Xq_translate.translate m (Imdb.Queries.q 13) in
+               ignore (Optimizer.query_cost cat q)));
+        Test.make ~name:"execute-q16"
+          (Staged.stage (fun () -> ignore (Executor.run_query db q16_plans)));
+        Test.make ~name:"pschema-cost(lookup)"
+          (Staged.stage (fun () ->
+               ignore (Search.pschema_cost ~workload inlined)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Printf.printf "%-42s (no estimate)\n" name
+      else if est > 1e6 then Printf.printf "%-42s %10.2f ms/run\n" name (est /. 1e6)
+      else if est > 1e3 then Printf.printf "%-42s %10.2f us/run\n" name (est /. 1e3)
+      else Printf.printf "%-42s %10.0f ns/run\n" name est)
+    (List.sort compare rows)
+
+let experiments =
+  [
+    ("fig6", Experiments.fig6);
+    ("fig10", Experiments.fig10);
+    ("fig11", fun () -> Experiments.fig11 ());
+    ("fig13", Experiments.fig13);
+    ("fig14", Experiments.fig14);
+    ("table2", Experiments.table2);
+    ("ablation", Experiments.ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let to_run = match args with [] -> List.map fst experiments | names -> names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          Printf.printf "[%s finished in %.1fs]\n%!" name
+            (Unix.gettimeofday () -. t0)
+      | None ->
+          Printf.eprintf "unknown experiment %s (have: %s)\n" name
+            (String.concat ", " (List.map fst experiments)))
+    to_run

@@ -1,0 +1,376 @@
+(* The LegoDB command-line tool.
+
+   Subcommands:
+     design     run the cost-based storage design for a workload
+     sql        translate queries under a storage configuration
+     shred      load an XML document and show the resulting tables
+     publish    shred and reconstruct a document (round-trip check)
+     generate   produce a synthetic IMDB document
+     stats      collect path statistics from a document
+     validate   validate a document against the schema
+     transforms list the transformations applicable to a configuration *)
+
+open Legodb
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let schema_of_name = function
+  | "imdb" -> Ok Imdb.Schema.schema
+  | "imdb-section2" -> Ok Imdb.Schema.section2
+  | file when Sys.file_exists file -> (
+      match Xtype_parse.schema_of_file file with
+      | s -> Ok s
+      | exception Xtype_parse.Parse_error { position; message } ->
+          Error (Printf.sprintf "%s: parse error at %d: %s" file position message))
+  | s -> Error (Printf.sprintf "unknown schema %S (try: imdb, imdb-section2, or a .xta file in the type notation)" s)
+
+let schema_arg =
+  let doc =
+    "Schema: a built-in name (imdb, imdb-section2) or a file in the XML \
+     Query Algebra type notation (type N = tag [ ... ])."
+  in
+  Arg.(value & opt string "imdb" & info [ "schema" ] ~docv:"NAME|FILE" ~doc)
+
+let sample_arg =
+  let doc = "Sample XML document; statistics are collected from it." in
+  Arg.(value & opt (some file) None & info [ "sample" ] ~docv:"FILE" ~doc)
+
+let config_arg =
+  let doc =
+    "Storage configuration: inlined (union-to-options + inline-all), \
+     outlined (every element its own table), or ps0 (minimal \
+     normalization)."
+  in
+  Arg.(value & opt string "inlined" & info [ "config" ] ~docv:"KIND" ~doc)
+
+let workload_arg =
+  let doc =
+    "Workload: lookup, publish, mixed:K (lookup fraction K), or a file of \
+     XQuery queries separated by blank lines."
+  in
+  Arg.(value & opt string "lookup" & info [ "workload" ] ~docv:"SPEC" ~doc)
+
+let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let load_stats schema sample =
+  match sample with
+  | Some file -> Collector.collect (Xml_parse.parse_file file)
+  | None ->
+      if schema == Imdb.Schema.schema then Imdb.Stats.full else Pathstat.empty
+
+let split_on_blank_lines text =
+  let lines = String.split_on_char '\n' text in
+  let chunks, current =
+    List.fold_left
+      (fun (chunks, current) line ->
+        if String.trim line = "" then
+          match current with
+          | [] -> (chunks, [])
+          | c -> (String.concat "\n" (List.rev c) :: chunks, [])
+        else (chunks, line :: current))
+      ([], []) lines
+  in
+  let chunks =
+    match current with
+    | [] -> chunks
+    | c -> String.concat "\n" (List.rev c) :: chunks
+  in
+  List.rev chunks
+
+let parse_queries_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  List.mapi
+    (fun i c -> Xq_parse.parse ~name:(Printf.sprintf "query%d" (i + 1)) c)
+    (split_on_blank_lines text)
+
+let load_workload spec =
+  match spec with
+  | "lookup" -> Ok Imdb.Workloads.lookup
+  | "publish" -> Ok Imdb.Workloads.publish
+  | s when String.length s > 6 && String.sub s 0 6 = "mixed:" -> (
+      match float_of_string_opt (String.sub s 6 (String.length s - 6)) with
+      | Some k when k >= 0. && k <= 1. -> Ok (Imdb.Workloads.mixed k)
+      | _ -> Error "mixed:K needs K in [0,1]")
+  | file when Sys.file_exists file -> (
+      match parse_queries_file file with
+      | [] -> Error "no queries in file"
+      | qs -> Ok (Workload.of_queries qs)
+      | exception Xq_parse.Parse_error { position; message } ->
+          Error (Printf.sprintf "parse error at %d: %s" position message))
+  | s -> Error (Printf.sprintf "unknown workload %S" s)
+
+let configuration schema stats kind =
+  let annotated = Annotate.schema stats schema in
+  match kind with
+  | "inlined" -> Ok (Init.all_inlined annotated)
+  | "outlined" -> Ok (Init.all_outlined annotated)
+  | "ps0" -> Ok (Init.normalize annotated)
+  | k -> Error (Printf.sprintf "unknown configuration %S" k)
+
+(* ---------------- design ---------------- *)
+
+let design_cmd =
+  let strategy =
+    let doc = "Greedy strategy: si (start inlined) or so (start outlined)." in
+    Arg.(value & opt string "si" & info [ "strategy" ] ~doc)
+  in
+  let threshold =
+    let doc = "Stop when the relative improvement falls below T." in
+    Arg.(value & opt float 0. & info [ "threshold" ] ~docv:"T" ~doc)
+  in
+  let indexes =
+    let doc = "Assume indexes on workload equality columns." in
+    Arg.(value & flag & info [ "workload-indexes" ] ~doc)
+  in
+  let run schema_name sample workload strategy threshold indexes =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        match load_workload workload with
+        | Error m -> fail "%s" m
+        | Ok w -> (
+            let stats = load_stats schema sample in
+            let annotated = Annotate.schema stats schema in
+            let search =
+              match strategy with
+              | "si" ->
+                  Ok
+                    (Search.greedy_si ~workload_indexes:indexes ~threshold
+                       ~workload:w)
+              | "so" ->
+                  Ok
+                    (Search.greedy_so ~workload_indexes:indexes ~threshold
+                       ~workload:w)
+              | s -> Error (Printf.sprintf "unknown strategy %S" s)
+            in
+            match search with
+            | Error m -> fail "%s" m
+            | Ok search -> (
+                let r = search annotated in
+                match Mapping.of_pschema r.Search.schema with
+                | Error es -> fail "%s" (String.concat "; " es)
+                | Ok mapping ->
+                    Format.printf "%a@." Legodb.report
+                      {
+                        Legodb.schema = r.Search.schema;
+                        mapping;
+                        cost = r.Search.cost;
+                        trace = r.Search.trace;
+                      };
+                    `Ok ())))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ schema_arg $ sample_arg $ workload_arg $ strategy
+       $ threshold $ indexes))
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"Find an efficient XML-to-relational mapping for a workload")
+    term
+
+(* ---------------- sql ---------------- *)
+
+let sql_cmd =
+  let run schema_name sample config workload =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let stats = load_stats schema sample in
+        match configuration schema stats config with
+        | Error m -> fail "%s" m
+        | Ok ps -> (
+            match (Mapping.of_pschema ps, load_workload workload) with
+            | Error es, _ -> fail "%s" (String.concat "; " es)
+            | _, Error m -> fail "%s" m
+            | Ok m, Ok w ->
+                Format.printf "-- schema --@.%s@." (Sql.ddl m.Mapping.catalog);
+                List.iter
+                  (fun ((q : Xq_ast.t), _) ->
+                    match Xq_translate.translate m q with
+                    | lq ->
+                        let _, cost =
+                          Optimizer.query_cost m.Mapping.catalog lq
+                        in
+                        Format.printf "%a@.-- estimated cost: %.1f@.@."
+                          Logical.pp_query lq cost
+                    | exception Xq_translate.Untranslatable msg ->
+                        Format.printf "-- %s: untranslatable (%s)@.@."
+                          q.Xq_ast.name msg)
+                  w;
+                `Ok ()))
+  in
+  let term =
+    Term.(ret (const run $ schema_arg $ sample_arg $ config_arg $ workload_arg))
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Show the DDL and translated SQL for a configuration")
+    term
+
+(* ---------------- shred / publish ---------------- *)
+
+let doc_arg =
+  let doc = "XML document to load." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let shred_cmd =
+  let run schema_name config file =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let doc = Xml_parse.parse_file file in
+        let stats = Collector.collect doc in
+        match configuration schema stats config with
+        | Error m -> fail "%s" m
+        | Ok ps -> (
+            match Mapping.of_pschema ps with
+            | Error es -> fail "%s" (String.concat "; " es)
+            | Ok m -> (
+                match Shred.shred m doc with
+                | db ->
+                    Format.printf "%a@." Storage.pp_summary db;
+                    `Ok ()
+                | exception Shred.Shred_error { path; message } ->
+                    fail "shredding failed at %s: %s" (String.concat "/" path)
+                      message)))
+  in
+  let term = Term.(ret (const run $ schema_arg $ config_arg $ doc_arg)) in
+  Cmd.v
+    (Cmd.info "shred" ~doc:"Load a document and show the resulting tables")
+    term
+
+let publish_cmd =
+  let run schema_name config file =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let doc = Xml_parse.parse_file file in
+        let stats = Collector.collect doc in
+        match configuration schema stats config with
+        | Error m -> fail "%s" m
+        | Ok ps -> (
+            match Mapping.of_pschema ps with
+            | Error es -> fail "%s" (String.concat "; " es)
+            | Ok m ->
+                let db = Shred.shred m doc in
+                let doc' = Publish.document db m in
+                print_endline (Xml.to_string doc');
+                Printf.eprintf "round trip: %s\n"
+                  (if Xml.equal doc doc' then "exact" else "differs");
+                `Ok ()))
+  in
+  let term = Term.(ret (const run $ schema_arg $ config_arg $ doc_arg)) in
+  Cmd.v
+    (Cmd.info "publish"
+       ~doc:"Shred a document, rebuild it from the tables, and print it")
+    term
+
+(* ---------------- generate / stats / validate / transforms ------------- *)
+
+let generate_cmd =
+  let scale =
+    let doc = "Scale factor relative to the paper's dataset (1.0 = full)." in
+    Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout by default).")
+  in
+  let run scale seed out =
+    let p = { (Imdb.Gen.scaled scale) with Imdb.Gen.seed } in
+    let doc = Imdb.Gen.generate p in
+    let text = Xml.to_string doc in
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc text;
+        close_out oc;
+        Printf.eprintf "wrote %d elements to %s\n" (Xml.count_elements doc) file
+    | None -> print_endline text);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic IMDB document")
+    Term.(ret (const run $ scale $ seed $ out))
+
+let stats_cmd =
+  let run file =
+    let doc = Xml_parse.parse_file file in
+    Format.printf "%a@." Pathstat.pp (Collector.collect doc);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Collect path statistics from a document")
+    Term.(ret (const run $ doc_arg))
+
+let validate_cmd =
+  let run schema_name file =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let doc = Xml_parse.parse_file file in
+        match Validate.document schema doc with
+        | Ok () ->
+            print_endline "valid";
+            `Ok ()
+        | Error e ->
+            fail "invalid: %s" (Format.asprintf "%a" Validate.pp_error e))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a document against the schema")
+    Term.(ret (const run $ schema_arg $ doc_arg))
+
+let transforms_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Include every rewriting kind, not just inline/outline.")
+  in
+  let run schema_name sample config all =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let stats = load_stats schema sample in
+        match configuration schema stats config with
+        | Error m -> fail "%s" m
+        | Ok ps ->
+            let kinds = if all then Space.all_kinds else Space.default_kinds in
+            let steps = Space.applicable ~kinds ps in
+            Format.printf "%d applicable transformations:@." (List.length steps);
+            List.iter (fun s -> Format.printf "  %a@." Space.pp_step s) steps;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "transforms"
+       ~doc:"List the schema transformations applicable to a configuration")
+    Term.(ret (const run $ schema_arg $ sample_arg $ config_arg $ all))
+
+let () =
+  let info =
+    Cmd.info "legodb" ~version:"1.0.0"
+      ~doc:"Cost-based XML-to-relational storage design (LegoDB)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            design_cmd;
+            sql_cmd;
+            shred_cmd;
+            publish_cmd;
+            generate_cmd;
+            stats_cmd;
+            validate_cmd;
+            transforms_cmd;
+          ]))

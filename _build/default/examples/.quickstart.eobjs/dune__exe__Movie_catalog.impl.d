@@ -1,0 +1,1 @@
+examples/movie_catalog.ml: Collector Executor Imdb Legodb List Logical Mapping Optimizer Printf Publish Rschema Shred Storage Unix Xml Xq_translate

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Imdb Legodb Logical Mapping Sql Xq_ast Xq_translate

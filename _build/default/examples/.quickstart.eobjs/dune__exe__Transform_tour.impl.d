@@ -1,0 +1,1 @@
+examples/transform_tour.ml: Annotate Format Imdb Init Label Legodb List Mapping Pathstat Rewrite Rschema Space String Xschema Xtype

@@ -1,0 +1,1 @@
+examples/update_tuning.ml: Annotate Imdb Init Legodb List Mapping Optimizer Printf Search Space String Workload Xq_parse Xq_translate

@@ -1,0 +1,1 @@
+examples/update_tuning.mli:

@@ -1,0 +1,1 @@
+examples/web_lookup.ml: Annotate Collector Executor Format Imdb Init Legodb List Logical Mapping Optimizer Printf Search Shred Storage String Xq_ast Xq_translate

@@ -1,0 +1,30 @@
+(* Quickstart: find a storage design for the IMDB lookup workload.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   Inputs are purely XML-level, as in the paper: an XML Schema (built
+   programmatically here), data statistics (the paper's Appendix A
+   numbers), and a weighted XQuery workload.  The output is a
+   relational configuration plus the greedy-search trace that found
+   it. *)
+
+open Legodb
+
+let () =
+  let d =
+    Legodb.design
+      ~schema:Imdb.Schema.schema (* Appendix B *)
+      ~stats:Imdb.Stats.full (* Appendix A *)
+      ~workload:Imdb.Workloads.lookup (* Q8, Q9, Q11, Q12, Q13 *)
+      ()
+  in
+  Format.printf "%a@." Legodb.report d;
+
+  (* the same design as DDL, ready for a real RDBMS *)
+  Format.printf "-- DDL --@.%s@." (Sql.ddl d.mapping.Mapping.catalog);
+
+  (* and the SQL your queries become under it *)
+  let q8 = Imdb.Queries.q 8 in
+  Format.printf "-- Q8 (%s) translates to --@.%a@."
+    q8.Xq_ast.name Logical.pp_query
+    (Xq_translate.translate d.mapping q8)

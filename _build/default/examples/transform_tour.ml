@@ -1,0 +1,99 @@
+(* A tour of the schema rewritings of Section 4.1 on the Section 2
+   schema, showing the p-schema and the relational configuration after
+   each step — the Figure 3/4/8 storyline of the paper, reproduced
+   mechanically.
+
+   Run with:  dune exec examples/transform_tour.exe *)
+
+open Legodb
+
+let stats =
+  Pathstat.of_list
+    [
+      ([ "imdb" ], Pathstat.STcnt 1);
+      ([ "imdb"; "show" ], Pathstat.STcnt 10000);
+      ([ "imdb"; "show"; "title" ], Pathstat.STsize 50);
+      ([ "imdb"; "show"; "year" ], Pathstat.STbase (1900, 2010, 110));
+      ([ "imdb"; "show"; "type" ], Pathstat.STsize 8);
+      ([ "imdb"; "show"; "aka" ], Pathstat.STcnt 15000);
+      ([ "imdb"; "show"; "aka" ], Pathstat.STsize 40);
+      ([ "imdb"; "show"; "review" ], Pathstat.STcnt 4000);
+      ([ "imdb"; "show"; "review"; "nyt" ], Pathstat.STcnt 1000);
+      ([ "imdb"; "show"; "review"; "suntimes" ], Pathstat.STcnt 3000);
+      ([ "imdb"; "show"; "review"; "TILDE" ], Pathstat.STsize 800);
+      ([ "imdb"; "show"; "box_office" ], Pathstat.STcnt 7000);
+      ([ "imdb"; "show"; "seasons" ], Pathstat.STcnt 3000);
+      ([ "imdb"; "show"; "description" ], Pathstat.STcnt 3000);
+      ([ "imdb"; "show"; "description" ], Pathstat.STsize 120);
+      ([ "imdb"; "show"; "episode" ], Pathstat.STcnt 27000);
+    ]
+
+let show_config title schema =
+  Format.printf "@.==== %s ====@." title;
+  Format.printf "%a@." Xschema.pp schema;
+  match Mapping.of_pschema schema with
+  | Ok m -> Format.printf "@[<v>%a@]@." Rschema.pp m.Mapping.catalog
+  | Error es ->
+      Format.printf "(not a p-schema: %s)@." (String.concat "; " es)
+
+let find_loc schema ty pick =
+  match
+    List.find_opt (fun (_, t) -> pick t) (Xtype.locations (Xschema.find schema ty))
+  with
+  | Some (loc, _) -> loc
+  | None -> failwith "sub-term not found"
+
+let () =
+  let s0 = Annotate.schema stats Imdb.Schema.section2 in
+  show_config "Initial p-schema (Figure 2(b) / Figure 3)" s0;
+
+  (* 1. inlining: Aka{1,10} stays a table, but the Movie branch can be
+     inlined once the union is turned into options *)
+  let s_opt =
+    let loc =
+      find_loc s0 "Show" (function Xtype.Choice _ -> true | _ -> false)
+    in
+    Rewrite.union_to_options s0 ~tname:"Show" ~loc
+  in
+  show_config "After union-to-options (the Figure 4(a) treatment)" s_opt;
+
+  let s_inl = Init.all_inlined ~union_to_options:false s_opt in
+  show_config "After inlining every single-use type (Figure 4(a))" s_inl;
+
+  (* 2. union distribution: horizontal partitioning (Figure 4(c)) *)
+  let s_dist =
+    let loc =
+      find_loc s0 "Show" (function Xtype.Choice _ -> true | _ -> false)
+    in
+    Init.all_inlined ~union_to_options:false
+      (Rewrite.distribute_union s0 ~tname:"Show" ~loc)
+  in
+  show_config "After union distribution (Figure 4(c))" s_dist;
+
+  (* 3. wildcard materialization: NYT reviews split out (Figure 4(b)) *)
+  let s_wild =
+    let loc =
+      find_loc s0 "Review" (function
+        | Xtype.Elem { label = Label.Any; _ } -> true
+        | _ -> false)
+    in
+    Rewrite.materialize_wildcard s0 ~tname:"Review" ~loc ~tag:"nyt"
+  in
+  show_config "After wildcard materialization (Figure 4(b))" s_wild;
+
+  (* 4. repetition split: Aka{1,10} == Aka, Aka{0,9} *)
+  let s_split =
+    let loc =
+      find_loc s0 "Show" (function
+        | Xtype.Rep (Xtype.Ref "Aka", o) -> o.Xtype.lo >= 1
+        | _ -> false)
+    in
+    Rewrite.split_repetition s0 ~tname:"Show" ~loc
+  in
+  show_config "After repetition split (Section 4.1)" s_split;
+
+  (* 5. the search space seen by the greedy search from PS0 *)
+  let steps = Space.applicable ~kinds:Space.all_kinds s0 in
+  Format.printf "@.==== %d single-step transformations from the initial schema ====@."
+    (List.length steps);
+  List.iter (fun s -> Format.printf "  %a@." Space.pp_step s) steps

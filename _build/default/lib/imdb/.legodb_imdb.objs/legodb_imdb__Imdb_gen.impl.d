@@ -1,0 +1,1 @@
+lib/imdb/imdb_gen.ml: Char Legodb_xml List Printf Random String Xml

@@ -1,0 +1,1 @@
+lib/imdb/imdb_queries.ml: Array Legodb_xquery List Printf

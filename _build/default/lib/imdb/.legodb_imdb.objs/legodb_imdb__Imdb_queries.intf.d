@@ -1,0 +1,1 @@
+lib/imdb/imdb_queries.mli: Legodb_xquery

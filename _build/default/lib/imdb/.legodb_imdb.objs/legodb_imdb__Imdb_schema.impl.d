@@ -1,0 +1,1 @@
+lib/imdb/imdb_schema.ml: Label Legodb_xtype Xschema Xtype

@@ -1,0 +1,1 @@
+lib/imdb/imdb_stats.ml: Float Legodb_stats List Option

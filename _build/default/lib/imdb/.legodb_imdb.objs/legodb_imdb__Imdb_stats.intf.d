@@ -1,0 +1,1 @@
+lib/imdb/imdb_stats.mli: Legodb_stats

@@ -1,0 +1,1 @@
+lib/imdb/imdb_workloads.ml: Imdb_queries Legodb_xquery Workload

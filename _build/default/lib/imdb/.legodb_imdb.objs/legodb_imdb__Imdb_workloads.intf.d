@@ -1,0 +1,1 @@
+lib/imdb/imdb_workloads.mli: Legodb_xquery

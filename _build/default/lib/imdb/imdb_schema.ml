@@ -1,0 +1,131 @@
+open Legodb_xtype
+
+let s tag = Xtype.named_elem tag Xtype.string_
+let i tag = Xtype.named_elem tag Xtype.integer
+
+let schema =
+  let show =
+    Xtype.named_elem "show"
+      (Xtype.seq
+         [
+           s "title";
+           i "year";
+           s "type";
+           Xtype.rep (s "aka") Xtype.star;
+           Xtype.rep
+             (Xtype.named_elem "reviews" (Xtype.elem Label.Any Xtype.string_))
+             Xtype.star;
+           Xtype.choice
+             [
+               Xtype.seq [ i "box_office"; i "video_sales" ];
+               Xtype.seq
+                 [
+                   i "seasons";
+                   s "description";
+                   Xtype.rep
+                     (Xtype.named_elem "episodes"
+                        (Xtype.seq [ s "name"; s "guest_director" ]))
+                     Xtype.star;
+                 ];
+             ];
+         ])
+  in
+  let director =
+    Xtype.named_elem "director"
+      (Xtype.seq
+         [
+           s "name";
+           Xtype.rep
+             (Xtype.named_elem "directed"
+                (Xtype.seq
+                   [
+                     s "title";
+                     i "year";
+                     Xtype.optional (s "info");
+                     Xtype.optional (Xtype.elem Label.Any Xtype.string_);
+                   ]))
+             Xtype.star;
+         ])
+  in
+  let actor =
+    Xtype.named_elem "actor"
+      (Xtype.seq
+         [
+           s "name";
+           Xtype.rep
+             (Xtype.named_elem "played"
+                (Xtype.seq
+                   [
+                     s "title";
+                     i "year";
+                     s "character";
+                     i "order_of_appearance";
+                     Xtype.rep
+                       (Xtype.named_elem "award"
+                          (Xtype.seq [ s "result"; s "award_name" ]))
+                       (Xtype.occ 0 (Xtype.Bounded 5));
+                   ]))
+             Xtype.star;
+           Xtype.optional
+             (Xtype.named_elem "biography"
+                (Xtype.seq [ s "birthday"; s "text" ]));
+         ])
+  in
+  let imdb =
+    Xtype.named_elem "imdb"
+      (Xtype.seq
+         [
+           Xtype.rep (Xtype.ref_ "Show") Xtype.star;
+           Xtype.rep (Xtype.ref_ "Director") Xtype.star;
+           Xtype.rep (Xtype.ref_ "Actor") Xtype.star;
+         ])
+  in
+  Xschema.make ~root:"IMDB"
+    [
+      { Xschema.name = "IMDB"; body = imdb };
+      { Xschema.name = "Show"; body = show };
+      { Xschema.name = "Director"; body = director };
+      { Xschema.name = "Actor"; body = actor };
+    ]
+
+let section2 =
+  let show =
+    Xtype.named_elem "show"
+      (Xtype.seq
+         [
+           Xtype.attr "type" Xtype.string_;
+           s "title";
+           i "year";
+           Xtype.rep (Xtype.ref_ "Aka") (Xtype.occ 1 (Xtype.Bounded 10));
+           Xtype.rep (Xtype.ref_ "Review") Xtype.star;
+           Xtype.choice [ Xtype.ref_ "Movie"; Xtype.ref_ "TV" ];
+         ])
+  in
+  let movie = Xtype.seq [ i "box_office"; i "video_sales" ] in
+  let tv =
+    Xtype.seq
+      [
+        i "seasons";
+        s "description";
+        Xtype.rep (Xtype.ref_ "Episode") Xtype.star;
+      ]
+  in
+  let episode =
+    Xtype.named_elem "episode" (Xtype.seq [ s "name"; s "guest_director" ])
+  in
+  let imdb =
+    Xtype.named_elem "imdb" (Xtype.seq [ Xtype.rep (Xtype.ref_ "Show") Xtype.star ])
+  in
+  Xschema.make ~root:"IMDB"
+    [
+      { Xschema.name = "IMDB"; body = imdb };
+      { Xschema.name = "Show"; body = show };
+      { Xschema.name = "Aka"; body = s "aka" };
+      {
+        Xschema.name = "Review";
+        body = Xtype.named_elem "review" (Xtype.elem Label.Any Xtype.string_);
+      };
+      { Xschema.name = "Movie"; body = movie };
+      { Xschema.name = "TV"; body = tv };
+      { Xschema.name = "Episode"; body = episode };
+    ]

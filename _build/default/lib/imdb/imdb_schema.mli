@@ -1,0 +1,16 @@
+(** The IMDB schema of Appendix B (XML Query Algebra notation), built
+    programmatically.
+
+    Two deliberate deviations from the appendix text, both to stay
+    consistent with the Appendix A statistics: [info] inside [directed]
+    and [biography] inside [actor] are optional (their counts are far
+    below their parents'), and the wildcard inside [directed] is
+    optional for the same reason. *)
+
+val schema : Legodb_xtype.Xschema.t
+(** The full IMDB schema: IMDB / Show / Director / Actor. *)
+
+val section2 : Legodb_xtype.Xschema.t
+(** The smaller Section 2 variant (Figure 2(b)): [@type] attribute,
+    [Aka{1,10}] as a named type, named [Movie]/[TV] union branches.
+    Used by documentation examples and transformation tests. *)

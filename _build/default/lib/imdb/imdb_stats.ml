@@ -1,0 +1,123 @@
+open Legodb_stats.Pathstat
+
+let appendix =
+  of_list
+    [
+      ([ "imdb" ], STcnt 1);
+      ([ "imdb"; "director" ], STcnt 26251);
+      ([ "imdb"; "director"; "name" ], STsize 40);
+      ([ "imdb"; "director"; "directed" ], STcnt 105004);
+      ([ "imdb"; "director"; "directed"; "title" ], STsize 40);
+      ([ "imdb"; "director"; "directed"; "year" ], STbase (1800, 2100, 300));
+      ([ "imdb"; "director"; "directed"; "info" ], STcnt 50000);
+      ([ "imdb"; "director"; "directed"; "info" ], STsize 100);
+      ([ "imdb"; "director"; "directed"; "TILDE" ], STsize 255);
+      ([ "imdb"; "show" ], STcnt 34798);
+      ([ "imdb"; "show"; "title" ], STsize 50);
+      ([ "imdb"; "show"; "year" ], STbase (1800, 2100, 300));
+      ([ "imdb"; "show"; "aka" ], STcnt 13641);
+      ([ "imdb"; "show"; "aka" ], STsize 40);
+      ([ "imdb"; "show"; "type" ], STsize 8);
+      ([ "imdb"; "show"; "reviews" ], STcnt 11250);
+      ([ "imdb"; "show"; "reviews"; "TILDE" ], STsize 800);
+      ([ "imdb"; "show"; "box_office" ], STcnt 7000);
+      ([ "imdb"; "show"; "box_office" ], STbase (10000, 100000000, 7000));
+      ([ "imdb"; "show"; "video_sales" ], STcnt 7000);
+      ([ "imdb"; "show"; "video_sales" ], STbase (10000, 100000000, 7000));
+      ([ "imdb"; "show"; "seasons" ], STcnt 3500);
+      ([ "imdb"; "show"; "description" ], STsize 120);
+      ([ "imdb"; "show"; "episodes" ], STcnt 31250);
+      ([ "imdb"; "show"; "episodes"; "name" ], STsize 40);
+      ([ "imdb"; "show"; "episodes"; "guest_director" ], STsize 40);
+      ([ "imdb"; "actor" ], STcnt 165786);
+      ([ "imdb"; "actor"; "name" ], STsize 40);
+      ([ "imdb"; "actor"; "played" ], STcnt 663144);
+      ([ "imdb"; "actor"; "played"; "title" ], STsize 40);
+      ([ "imdb"; "actor"; "played"; "year" ], STbase (1800, 2100, 200));
+      ([ "imdb"; "actor"; "played"; "character" ], STsize 40);
+      ([ "imdb"; "actor"; "played"; "order_of_appearance" ], STbase (1, 300, 300));
+      ([ "imdb"; "actor"; "played"; "award"; "result" ], STsize 3);
+      ([ "imdb"; "actor"; "played"; "award"; "award_name" ], STsize 40);
+      ([ "imdb"; "actor"; "biography"; "birthday" ], STsize 10);
+      ([ "imdb"; "actor"; "biography"; "text" ], STcnt 20000);
+      ([ "imdb"; "actor"; "biography"; "text" ], STsize 30);
+    ]
+
+(* Facts the appendix leaves implicit but the statistics translation
+   needs; see DESIGN.md.  Counts follow directly from the appendix
+   (e.g. one wildcard element per [reviews], one [title] per [show]);
+   string distinct counts use the obvious population (shows for titles,
+   people for names). *)
+let extensions =
+  of_list
+    [
+      ([ "imdb"; "show"; "title" ], STdistinct 34798);
+      ([ "imdb"; "show"; "type" ], STdistinct 2);
+      ([ "imdb"; "show"; "aka" ], STdistinct 13641);
+      ([ "imdb"; "show"; "reviews"; "TILDE" ], STcnt 11250);
+      ([ "imdb"; "show"; "reviews"; "TILDE" ], STdistinct 11250);
+      ([ "imdb"; "show"; "description" ], STcnt 3500);
+      ([ "imdb"; "show"; "description" ], STdistinct 3500);
+      ([ "imdb"; "show"; "episodes"; "name" ], STdistinct 31250);
+      ([ "imdb"; "show"; "episodes"; "guest_director" ], STdistinct 15000);
+      ([ "imdb"; "director"; "name" ], STdistinct 26251);
+      ([ "imdb"; "director"; "directed"; "title" ], STdistinct 34798);
+      ([ "imdb"; "director"; "directed"; "info" ], STdistinct 50000);
+      ([ "imdb"; "director"; "directed"; "TILDE" ], STcnt 50000);
+      ([ "imdb"; "director"; "directed"; "TILDE" ], STdistinct 50000);
+      ([ "imdb"; "actor"; "name" ], STdistinct 165786);
+      ([ "imdb"; "actor"; "played"; "title" ], STdistinct 34798);
+      ([ "imdb"; "actor"; "played"; "character" ], STdistinct 120000);
+      ([ "imdb"; "actor"; "played"; "award" ], STcnt 200000);
+      ([ "imdb"; "actor"; "played"; "award"; "result" ], STdistinct 3);
+      ([ "imdb"; "actor"; "played"; "award"; "award_name" ], STdistinct 50);
+      ([ "imdb"; "actor"; "biography" ], STcnt 20000);
+      ([ "imdb"; "actor"; "biography"; "birthday" ], STcnt 20000);
+      ([ "imdb"; "actor"; "biography"; "birthday" ], STdistinct 15000);
+      ([ "imdb"; "actor"; "biography"; "text" ], STdistinct 20000);
+    ]
+
+let full = merge appendix extensions
+
+let with_review_sources stats ~total sources =
+  let base =
+    of_list
+      [
+        ([ "imdb"; "show"; "reviews" ], STcnt total);
+        ([ "imdb"; "show"; "reviews"; "TILDE" ], STcnt total);
+        ([ "imdb"; "show"; "reviews"; "TILDE" ], STdistinct total);
+      ]
+  in
+  let tagged =
+    List.fold_left
+      (fun acc (tag, frac) ->
+        let count = int_of_float (Float.round (float_of_int total *. frac)) in
+        let acc = add acc [ "imdb"; "show"; "reviews"; tag ] (STcnt count) in
+        let acc = add acc [ "imdb"; "show"; "reviews"; tag ] (STsize 800) in
+        add acc [ "imdb"; "show"; "reviews"; tag ] (STdistinct count))
+      base sources
+  in
+  (* later facts overwrite: merge [tagged] over [stats] *)
+  let overwritten =
+    List.fold_left
+      (fun acc path ->
+        List.fold_left
+          (fun acc stat -> add acc path stat)
+          acc
+          (let e = Option.get (find tagged path) in
+           List.concat
+             [
+               (match e.count with Some n -> [ STcnt n ] | None -> []);
+               (match e.size with Some n -> [ STsize n ] | None -> []);
+               (match e.base with
+               | Some (lo, hi, d) -> [ STbase (lo, hi, d) ]
+               | None -> []);
+               (match e.distinct with Some n -> [ STdistinct n ] | None -> []);
+             ]))
+      stats (paths tagged)
+  in
+  overwritten
+
+let with_aka_count stats n =
+  let stats = add stats [ "imdb"; "show"; "aka" ] (STcnt n) in
+  add stats [ "imdb"; "show"; "aka" ] (STdistinct n)

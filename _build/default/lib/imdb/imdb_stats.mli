@@ -1,0 +1,25 @@
+(** The Appendix A statistics, plus the handful of extensions the cost
+    model needs (distinct counts for string columns, occurrence counts
+    for paths the appendix sizes but does not count).  Extensions are
+    kept separate so tests can verify the verbatim appendix set. *)
+
+val appendix : Legodb_stats.Pathstat.t
+(** The statistics exactly as printed in Appendix A. *)
+
+val full : Legodb_stats.Pathstat.t
+(** {!appendix} merged with the extensions (documented in DESIGN.md). *)
+
+val with_review_sources :
+  Legodb_stats.Pathstat.t ->
+  total:int ->
+  (string * float) list ->
+  Legodb_stats.Pathstat.t
+(** Override the review statistics: [total] reviews distributed over
+    concrete source tags (e.g. [["nyt", 0.125; "suntimes", 0.875]]),
+    each tag recorded as a concrete child path of
+    [imdb/show/reviews] so wildcard label distributions get annotated.
+    Used by the Table 2 experiment. *)
+
+val with_aka_count : Legodb_stats.Pathstat.t -> int -> Legodb_stats.Pathstat.t
+(** Override the total number of [aka] elements (the Figure 14
+    sweep). *)

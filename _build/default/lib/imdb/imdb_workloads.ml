@@ -1,0 +1,21 @@
+open Legodb_xquery
+
+let lookup = Workload.of_queries Imdb_queries.lookup_queries
+let publish = Workload.of_queries Imdb_queries.publish_queries
+let mixed k = Workload.mix k lookup publish
+
+let w1 =
+  [
+    (Imdb_queries.fig5 1, 0.4);
+    (Imdb_queries.fig5 2, 0.4);
+    (Imdb_queries.fig5 3, 0.1);
+    (Imdb_queries.fig5 4, 0.1);
+  ]
+
+let w2 =
+  [
+    (Imdb_queries.fig5 1, 0.1);
+    (Imdb_queries.fig5 2, 0.1);
+    (Imdb_queries.fig5 3, 0.4);
+    (Imdb_queries.fig5 4, 0.4);
+  ]

@@ -1,0 +1,19 @@
+(** The workloads used across the paper's experiments. *)
+
+val lookup : Legodb_xquery.Workload.t
+(** Five lookup queries, uniform weights (Section 5.2). *)
+
+val publish : Legodb_xquery.Workload.t
+(** Three publishing queries, uniform weights (Section 5.2). *)
+
+val mixed : float -> Legodb_xquery.Workload.t
+(** [mixed k]: lookup and publish in the ratio [k : (1-k)]
+    (the Section 5.3 spectrum). *)
+
+val w1 : Legodb_xquery.Workload.t
+(** Section 2's W1 = [{F1: 0.4, F2: 0.4, F3: 0.1, F4: 0.1}] over the
+    Figure 5 queries (publishing-heavy). *)
+
+val w2 : Legodb_xquery.Workload.t
+(** Section 2's W2 = [{F1: 0.1, F2: 0.1, F3: 0.4, F4: 0.4}]
+    (lookup-heavy). *)

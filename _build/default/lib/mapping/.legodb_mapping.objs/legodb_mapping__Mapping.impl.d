@@ -1,0 +1,1 @@
+lib/mapping/mapping.ml: Float Format Hashtbl Label Legodb_pschema Legodb_relational Legodb_transform Legodb_xtype List Naming Option Printf Rschema Rtype Set String Xschema Xtype

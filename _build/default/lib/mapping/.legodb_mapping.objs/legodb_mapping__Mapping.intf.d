@@ -1,0 +1,1 @@
+lib/mapping/mapping.mli: Legodb_relational Legodb_xtype Rschema Xschema

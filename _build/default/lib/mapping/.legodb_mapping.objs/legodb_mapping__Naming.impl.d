@@ -1,0 +1,1 @@
+lib/mapping/naming.ml: String

@@ -1,0 +1,1 @@
+lib/mapping/navigate.ml: Format Label Legodb_xtype List Mapping Naming String Xschema Xtype

@@ -1,0 +1,1 @@
+lib/mapping/navigate.mli: Format Mapping

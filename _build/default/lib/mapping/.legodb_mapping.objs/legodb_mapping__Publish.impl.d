@@ -1,0 +1,1 @@
+lib/mapping/publish.ml: Array Int Label Legodb_relational Legodb_xml Legodb_xtype List Mapping Naming Printf Rschema Rtype Storage Xml Xschema Xtype

@@ -1,0 +1,1 @@
+lib/mapping/publish.mli: Legodb_relational Legodb_xml Mapping

@@ -1,0 +1,1 @@
+lib/mapping/shred.ml: Array Format Hashtbl Label Legodb_relational Legodb_xml Legodb_xtype List Mapping Naming Navigate Option Rschema Rtype Seq Storage String Xml Xschema Xtype

@@ -1,0 +1,1 @@
+lib/mapping/shred.mli: Legodb_relational Legodb_xml Mapping

@@ -1,0 +1,1 @@
+lib/mapping/xq_translate.ml: Float Legodb_optimizer Legodb_relational Legodb_xquery List Logical Mapping Naming Navigate Printf Rtype String Xq_ast

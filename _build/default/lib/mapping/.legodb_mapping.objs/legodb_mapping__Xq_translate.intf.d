@@ -1,0 +1,1 @@
+lib/mapping/xq_translate.mli: Legodb_optimizer Legodb_xquery Logical Mapping

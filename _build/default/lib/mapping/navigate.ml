@@ -1,0 +1,228 @@
+open Legodb_xtype
+
+type place = { ty : string; prefix : string list }
+
+type found =
+  | F_elem of { hops : string list; place : place }
+  | F_column of { hops : string list; ty : string; column : string }
+  | F_wild of {
+      hops : string list;
+      ty : string;
+      tilde : string;
+      data : string;
+      tag : string;
+    }
+
+let rec scalar_only = function
+  | Xtype.Scalar _ -> true
+  | Xtype.Choice ts -> ts <> [] && List.for_all scalar_only ts
+  | Xtype.Empty | Xtype.Attr _ | Xtype.Elem _ | Xtype.Seq _ | Xtype.Rep _
+  | Xtype.Ref _ ->
+      false
+
+let prefix_step_matches (label : Label.t) step =
+  match label with
+  | Label.Name n -> String.equal n step
+  | Label.Any | Label.Any_except _ -> String.equal step "tilde"
+
+(* Content types of the inline element at [prefix] within [ty]'s body. *)
+let content_at schema ty prefix =
+  match Xschema.find_opt schema ty with
+  | None -> []
+  | Some body ->
+      let start = match body with Xtype.Elem e -> e.content | b -> b in
+      let rec descend content steps =
+        match steps with
+        | [] -> [ content ]
+        | s :: rest ->
+            let rec scan t acc =
+              match t with
+              | Xtype.Elem e when prefix_step_matches e.label s ->
+                  e.content :: acc
+              | Xtype.Elem _ | Xtype.Empty | Xtype.Scalar _ | Xtype.Attr _
+              | Xtype.Ref _ ->
+                  acc
+              | Xtype.Seq ts | Xtype.Choice ts ->
+                  List.fold_left (fun acc t -> scan t acc) acc ts
+              | Xtype.Rep (u, _) -> scan u acc
+            in
+            List.concat_map (fun c -> descend c rest) (List.rev (scan content []))
+      in
+      descend start prefix
+
+let body_root_tag body =
+  match body with
+  | Xtype.Elem e -> Label.column_name e.Xtype.label
+  | _ -> ""
+
+let rec find_in m ~visited ~hops ~ty ~prefix ~root_tag step content acc =
+  match content with
+  | Xtype.Elem e -> (
+      match e.label with
+      | Label.Name n when String.equal n step ->
+          if scalar_only e.content then
+            F_column
+              {
+                hops;
+                ty;
+                column = Naming.data_col (prefix @ [ n ]) ~root_tag;
+              }
+            :: acc
+          else F_elem { hops; place = { ty; prefix = prefix @ [ n ] } } :: acc
+      | Label.Name _ -> acc
+      | (Label.Any | Label.Any_except _) as wild ->
+          if Label.matches wild step then
+            if scalar_only e.content then
+              F_wild
+                {
+                  hops;
+                  ty;
+                  tilde = Naming.tilde_col prefix ~root_tag;
+                  data = Naming.tilde_data_col prefix ~root_tag;
+                  tag = step;
+                }
+              :: acc
+            else
+              (* structured wildcard content (the AnyElement pattern):
+                 an element position whose tag lives in the tilde column *)
+              F_elem { hops; place = { ty; prefix = prefix @ [ "tilde" ] } }
+              :: acc
+          else acc)
+  | Xtype.Attr (n, _) when String.equal n step ->
+      F_column { hops; ty; column = Naming.data_col (prefix @ [ n ]) ~root_tag }
+      :: acc
+  | Xtype.Attr _ | Xtype.Scalar _ | Xtype.Empty -> acc
+  | Xtype.Seq ts | Xtype.Choice ts ->
+      List.fold_left
+        (fun acc t -> find_in m ~visited ~hops ~ty ~prefix ~root_tag step t acc)
+        acc ts
+  | Xtype.Rep (u, _) -> find_in m ~visited ~hops ~ty ~prefix ~root_tag step u acc
+  | Xtype.Ref n -> enter m ~visited ~hops step n acc
+
+and enter (m : Mapping.t) ~visited ~hops step n acc =
+  if List.mem n visited then acc
+  else
+    let visited = n :: visited in
+    match Xschema.find_opt m.schema n with
+    | None -> acc
+    | Some body ->
+        if Mapping.is_transparent m.schema n then
+          (* no table of its own: look through to its references *)
+          find_in m ~visited ~hops ~ty:n ~prefix:[] ~root_tag:"" step body acc
+        else
+          let hops = hops @ [ n ] in
+          let root_tag = body_root_tag body in
+          (match body with
+          | Xtype.Elem e -> (
+              match e.label with
+              | Label.Name tag when String.equal tag step ->
+                  if scalar_only e.content then
+                    F_column
+                      { hops; ty = n; column = Naming.data_col [] ~root_tag }
+                    :: acc
+                  else F_elem { hops; place = { ty = n; prefix = [] } } :: acc
+              | Label.Name _ -> acc
+              | (Label.Any | Label.Any_except _) as wild ->
+                  if Label.matches wild step then
+                    if scalar_only e.content then
+                      F_wild
+                        {
+                          hops;
+                          ty = n;
+                          tilde = Naming.tilde_col [] ~root_tag;
+                          data = Naming.tilde_data_col [] ~root_tag;
+                          tag = step;
+                        }
+                      :: acc
+                    else F_elem { hops; place = { ty = n; prefix = [] } } :: acc
+                  else acc)
+          | body ->
+              (* a type without a root element splices its content into
+                 the parent's element: match inside it *)
+              find_in m ~visited ~hops ~ty:n ~prefix:[] ~root_tag step body acc)
+
+(* When a step matches both a concretely named element and a wildcard at
+   the same content level, prefer the named element (the unique-particle
+   intuition of XML Schema; a wildcard sibling could in principle carry
+   the same tag, but queries mean the declared element). *)
+let prefer_named founds =
+  let named =
+    List.filter (function F_wild _ -> false | F_elem _ | F_column _ -> true) founds
+  in
+  if named <> [] then named else founds
+
+let navigate (m : Mapping.t) place step =
+  let root_tag =
+    match Xschema.find_opt m.schema place.ty with
+    | Some body -> body_root_tag body
+    | None -> ""
+  in
+  prefer_named
+    (List.concat_map
+       (fun content ->
+         List.rev
+           (find_in m ~visited:[] ~hops:[] ~ty:place.ty ~prefix:place.prefix
+              ~root_tag step content []))
+       (content_at m.schema place.ty place.prefix))
+
+let enter_root (m : Mapping.t) step =
+  prefer_named (List.rev (enter m ~visited:[] ~hops:[] step (Xschema.root m.schema) []))
+
+let navigate_path m place path =
+  let start = [ F_elem { hops = []; place } ] in
+  List.fold_left
+    (fun frontier step ->
+      List.concat_map
+        (function
+          | F_elem { hops; place } ->
+              List.map
+                (function
+                  | F_elem f -> F_elem { f with hops = hops @ f.hops }
+                  | F_column f -> F_column { f with hops = hops @ f.hops }
+                  | F_wild f -> F_wild { f with hops = hops @ f.hops })
+                (navigate m place step)
+          | F_column _ | F_wild _ -> [])
+        frontier)
+    start path
+
+let descendant_tables (m : Mapping.t) place =
+  let out = ref [] in
+  let rec from_content hops visited content =
+    match content with
+    | Xtype.Elem e -> from_content hops visited e.Xtype.content
+    | Xtype.Seq ts | Xtype.Choice ts ->
+        List.iter (from_content hops visited) ts
+    | Xtype.Rep (u, _) -> from_content hops visited u
+    | Xtype.Ref n -> enter_desc hops visited n
+    | Xtype.Scalar _ | Xtype.Attr _ | Xtype.Empty -> ()
+  and enter_desc hops visited n =
+    if List.mem n visited then ()
+    else
+      let visited = n :: visited in
+      match Xschema.find_opt m.schema n with
+      | None -> ()
+      | Some body ->
+          if Mapping.is_transparent m.schema n then
+            from_content hops visited body
+          else begin
+            let hops = hops @ [ n ] in
+            out := hops :: !out;
+            from_content hops visited body
+          end
+  in
+  List.iter
+    (fun content -> from_content [] [] content)
+    (content_at m.schema place.ty place.prefix);
+  List.rev !out
+
+let pp_found fmt = function
+  | F_elem { hops; place } ->
+      Format.fprintf fmt "element in %s at %s (via %s)" place.ty
+        (String.concat "/" place.prefix)
+        (String.concat "->" hops)
+  | F_column { hops; ty; column } ->
+      Format.fprintf fmt "column %s.%s (via %s)" ty column
+        (String.concat "->" hops)
+  | F_wild { hops; ty; tilde; data; tag } ->
+      Format.fprintf fmt "wildcard %s: %s.%s/%s (via %s)" tag ty tilde data
+        (String.concat "->" hops)

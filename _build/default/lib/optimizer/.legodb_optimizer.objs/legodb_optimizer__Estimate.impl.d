@@ -1,0 +1,1 @@
+lib/optimizer/estimate.ml: Float Legodb_relational List Logical Printf Rschema Rtype String

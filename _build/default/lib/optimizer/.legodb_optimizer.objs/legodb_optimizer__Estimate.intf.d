@@ -1,0 +1,1 @@
+lib/optimizer/estimate.mli: Legodb_relational Logical Rschema

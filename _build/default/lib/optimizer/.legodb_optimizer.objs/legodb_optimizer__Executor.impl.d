@@ -1,0 +1,1 @@
+lib/optimizer/executor.ml: Array Hashtbl Legodb_relational List Logical Physical Printf Rtype Seq Storage String

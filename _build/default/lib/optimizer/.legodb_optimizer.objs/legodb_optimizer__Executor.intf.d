@@ -1,0 +1,1 @@
+lib/optimizer/executor.mli: Legodb_relational Logical Physical Rtype Storage

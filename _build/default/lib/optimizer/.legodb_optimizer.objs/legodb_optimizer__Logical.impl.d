@@ -1,0 +1,1 @@
+lib/optimizer/logical.ml: Format Legodb_relational List Rschema Rtype Sql String

@@ -1,0 +1,1 @@
+lib/optimizer/logical.mli: Format Legodb_relational

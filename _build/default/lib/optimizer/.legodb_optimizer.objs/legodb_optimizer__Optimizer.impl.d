@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Cost Estimate Float Hashtbl Int Legodb_relational List Logical Option Physical Rschema String

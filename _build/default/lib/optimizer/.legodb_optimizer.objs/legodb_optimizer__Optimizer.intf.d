@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Cost Hashtbl Legodb_relational Logical Physical Rschema

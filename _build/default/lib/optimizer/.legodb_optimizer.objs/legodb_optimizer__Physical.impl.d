@@ -1,0 +1,1 @@
+lib/optimizer/physical.ml: Format List Logical

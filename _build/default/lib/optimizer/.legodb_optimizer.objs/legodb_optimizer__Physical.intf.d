@@ -1,0 +1,1 @@
+lib/optimizer/physical.mli: Format Logical

@@ -1,0 +1,102 @@
+open Legodb_relational
+
+type env = {
+  tables : (string * Rschema.table) list;  (* alias -> table *)
+  preds : Logical.pred list;
+}
+
+let env cat (block : Logical.block) =
+  let tables =
+    List.map
+      (fun (r : Logical.relation) ->
+        match Rschema.find_table cat r.table with
+        | Some tbl -> (r.alias, tbl)
+        | None ->
+            invalid_arg (Printf.sprintf "Estimate.env: unknown table %s" r.table))
+      block.relations
+  in
+  { tables; preds = block.preds }
+
+let table_of env alias =
+  match List.assoc_opt alias env.tables with
+  | Some tbl -> tbl
+  | None -> invalid_arg (Printf.sprintf "Estimate: unknown alias %s" alias)
+
+let column_of env (alias, cname) = Rschema.column (table_of env alias) cname
+
+let row_floor = 1.
+
+let range_fraction stats const ~upper =
+  match (stats.Rschema.v_min, stats.Rschema.v_max, const) with
+  | Some lo, Some hi, Rtype.V_int c when hi > lo ->
+      let f = float_of_int (c - lo) /. float_of_int (hi - lo) in
+      let f = Float.max 0. (Float.min 1. f) in
+      if upper then f else 1. -. f
+  | _ -> 1. /. 3.
+
+let pred_selectivity env (p : Logical.pred) =
+  let lhs = column_of env p.lhs in
+  let nn = 1. -. lhs.stats.null_frac in
+  match (p.cmp, p.rhs) with
+  | Logical.C_eq, Logical.O_const _ -> nn /. Float.max 1. lhs.stats.distinct
+  | Logical.C_ne, Logical.O_const _ ->
+      nn *. (1. -. (1. /. Float.max 1. lhs.stats.distinct))
+  | Logical.C_lt, Logical.O_const c | Logical.C_le, Logical.O_const c ->
+      nn *. range_fraction lhs.stats c ~upper:true
+  | Logical.C_gt, Logical.O_const c | Logical.C_ge, Logical.O_const c ->
+      nn *. range_fraction lhs.stats c ~upper:false
+  | Logical.C_eq, Logical.O_col rc ->
+      let rhs = column_of env rc in
+      nn
+      *. (1. -. rhs.stats.null_frac)
+      /. Float.max 1. (Float.max lhs.stats.distinct rhs.stats.distinct)
+  | Logical.C_ne, Logical.O_col _ -> 0.9
+  | (Logical.C_lt | Logical.C_le | Logical.C_gt | Logical.C_ge), Logical.O_col _
+    ->
+      1. /. 3.
+
+let local_preds env alias =
+  List.filter
+    (fun p ->
+      match Logical.pred_aliases p with
+      | [ a ] -> String.equal a alias
+      | [ a; b ] -> String.equal a alias && String.equal b alias
+      | _ -> false)
+    env.preds
+
+let base_rows env alias =
+  let tbl = table_of env alias in
+  let sel =
+    List.fold_left
+      (fun s p -> s *. pred_selectivity env p)
+      1. (local_preds env alias)
+  in
+  Float.max row_floor (tbl.card *. sel)
+
+let subset_rows env aliases =
+  let inside a = List.exists (String.equal a) aliases in
+  let cards =
+    List.fold_left
+      (fun acc a -> acc *. Float.max row_floor (table_of env a).Rschema.card)
+      1. aliases
+  in
+  let sel =
+    List.fold_left
+      (fun s p ->
+        if List.for_all inside (Logical.pred_aliases p) then
+          s *. pred_selectivity env p
+        else s)
+      1. env.preds
+  in
+  Float.max row_floor (cards *. sel)
+
+let output_width env out aliases =
+  match out with
+  | [] ->
+      List.fold_left
+        (fun w a -> w +. Rschema.row_width (table_of env a))
+        0. aliases
+  | cols ->
+      List.fold_left
+        (fun w c -> w +. (column_of env c).stats.avg_width)
+        0. cols

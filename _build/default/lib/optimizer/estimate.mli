@@ -1,0 +1,30 @@
+(** Cardinality and selectivity estimation over catalog statistics. *)
+
+open Legodb_relational
+
+type env
+(** Resolves aliases to catalog tables for one block. *)
+
+val env : Rschema.t -> Logical.block -> env
+(** @raise Invalid_argument if an alias does not resolve. *)
+
+val table_of : env -> string -> Rschema.table
+val column_of : env -> Logical.col -> Rschema.column
+
+val pred_selectivity : env -> Logical.pred -> float
+(** Textbook System-R rules: equality with a constant selects
+    [(1 - null_frac) / distinct]; ranges interpolate with min/max when
+    known (1/3 otherwise); column-column equality selects
+    [1 / max(d1, d2)] discounted by null fractions. *)
+
+val base_rows : env -> string -> float
+(** Rows of an alias after its local predicates (never below a small
+    positive floor). *)
+
+val subset_rows : env -> string list -> float
+(** Estimated result cardinality of joining the given aliases with
+    every block predicate whose aliases all fall inside the subset. *)
+
+val output_width : env -> Logical.col list -> string list -> float
+(** Average output row width of the projection (all columns of the
+    listed aliases when the projection is empty). *)

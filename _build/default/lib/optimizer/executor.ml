@@ -1,0 +1,229 @@
+open Legodb_relational
+
+type tuple = (string * Storage.row) list
+
+type measures = {
+  tuples_scanned : int;
+  index_probes : int;
+  join_tuples : int;
+  bytes_read : float;
+  output_rows : int;
+}
+
+let zero_measures =
+  {
+    tuples_scanned = 0;
+    index_probes = 0;
+    join_tuples = 0;
+    bytes_read = 0.;
+    output_rows = 0;
+  }
+
+type state = {
+  db : Storage.t;
+  mutable m : measures;
+}
+
+let row_bytes (row : Storage.row) =
+  Array.fold_left (fun b v -> b +. float_of_int (Rtype.value_width v)) 0. row
+
+let value_of st tuple plan_tables (alias, column) =
+  match List.assoc_opt alias tuple with
+  | None -> invalid_arg (Printf.sprintf "Executor: alias %s not in tuple" alias)
+  | Some row ->
+      let table =
+        match List.assoc_opt alias plan_tables with
+        | Some t -> t
+        | None -> invalid_arg (Printf.sprintf "Executor: unknown alias %s" alias)
+      in
+      row.(Storage.column_position st.db ~table ~column)
+
+let eval_cmp cmp l r =
+  if Rtype.is_null l || Rtype.is_null r then false
+  else
+    let c = Rtype.compare_value l r in
+    match cmp with
+    | Logical.C_eq -> c = 0
+    | Logical.C_ne -> c <> 0
+    | Logical.C_lt -> c < 0
+    | Logical.C_le -> c <= 0
+    | Logical.C_gt -> c > 0
+    | Logical.C_ge -> c >= 0
+
+let eval_pred st plan_tables tuple (p : Logical.pred) =
+  let l = value_of st tuple plan_tables p.lhs in
+  let r =
+    match p.rhs with
+    | Logical.O_const v -> v
+    | Logical.O_col c -> value_of st tuple plan_tables c
+  in
+  eval_cmp p.cmp l r
+
+let plan_tables plan =
+  List.map
+    (fun (r : Logical.relation) -> (r.alias, r.table))
+    (Physical.relations plan)
+
+let rec eval st plan : tuple list =
+  let tables = plan_tables plan in
+  match plan with
+  | Physical.Scan { rel; access; filters } -> (
+      let keep row =
+        let tuple = [ (rel.Logical.alias, row) ] in
+        List.for_all (eval_pred st tables tuple) filters
+      in
+      match access with
+      | Physical.Seq_scan ->
+          Seq.fold_left
+            (fun acc row ->
+              st.m <-
+                {
+                  st.m with
+                  tuples_scanned = st.m.tuples_scanned + 1;
+                  bytes_read = st.m.bytes_read +. row_bytes row;
+                };
+              if keep row then [ (rel.Logical.alias, row) ] :: acc else acc)
+            [] (Storage.scan st.db rel.Logical.table)
+          |> List.rev
+      | Physical.Index_probe { column } ->
+          let const =
+            List.find_map
+              (fun (p : Logical.pred) ->
+                match (p.cmp, p.rhs) with
+                | Logical.C_eq, Logical.O_const v
+                  when String.equal (snd p.lhs) column ->
+                    Some v
+                | _ -> None)
+              filters
+          in
+          (match const with
+          | None ->
+              invalid_arg "Executor: index probe without a constant filter"
+          | Some v ->
+              st.m <- { st.m with index_probes = st.m.index_probes + 1 };
+              let rows = Storage.lookup st.db ~table:rel.Logical.table ~column v in
+              List.filter_map
+                (fun row ->
+                  st.m <-
+                    { st.m with bytes_read = st.m.bytes_read +. row_bytes row };
+                  if keep row then Some [ (rel.Logical.alias, row) ] else None)
+                rows))
+  | Physical.Join { jm; left; right; conds; extra } -> (
+      let check_extras tuple = List.for_all (eval_pred st tables tuple) extra in
+      let emit acc tuple =
+        st.m <- { st.m with join_tuples = st.m.join_tuples + 1 };
+        if check_extras tuple then tuple :: acc else acc
+      in
+      match jm with
+      | Physical.Hash_join ->
+          let ltuples = eval st left and rtuples = eval st right in
+          let key_of cols tuple =
+            List.map (fun c -> value_of st tuple tables c) cols
+          in
+          let lcols = List.map fst conds and rcols = List.map snd conds in
+          let index = Hashtbl.create (List.length rtuples) in
+          List.iter
+            (fun rt -> Hashtbl.add index (key_of rcols rt) rt)
+            rtuples;
+          List.fold_left
+            (fun acc lt ->
+              let matches = Hashtbl.find_all index (key_of lcols lt) in
+              List.fold_left (fun acc rt -> emit acc (lt @ rt)) acc matches)
+            [] ltuples
+          |> List.rev
+      | Physical.Index_nl { column } -> (
+          match right with
+          | Physical.Scan { rel; filters; _ } ->
+              let ltuples = eval st left in
+              let probe_cond =
+                List.find_opt
+                  (fun ((_, _), (ra, rc)) ->
+                    String.equal ra rel.Logical.alias && String.equal rc column)
+                  conds
+              in
+              (match probe_cond with
+              | None -> invalid_arg "Executor: index-nl join without probe cond"
+              | Some ((lcol, _) as probe) ->
+                  let rest_conds = List.filter (fun c -> not (c == probe)) conds in
+                  List.fold_left
+                    (fun acc lt ->
+                      let v = value_of st lt tables lcol in
+                      st.m <- { st.m with index_probes = st.m.index_probes + 1 };
+                      let rows =
+                        Storage.lookup st.db ~table:rel.Logical.table ~column v
+                      in
+                      List.fold_left
+                        (fun acc row ->
+                          st.m <-
+                            {
+                              st.m with
+                              bytes_read = st.m.bytes_read +. row_bytes row;
+                            };
+                          let rt = [ (rel.Logical.alias, row) ] in
+                          let tuple = lt @ rt in
+                          let ok =
+                            List.for_all (eval_pred st tables rt) filters
+                            && List.for_all
+                                 (fun (lc, rc) ->
+                                   eval_cmp Logical.C_eq
+                                     (value_of st tuple tables lc)
+                                     (value_of st tuple tables rc))
+                                 rest_conds
+                          in
+                          if ok then emit acc tuple else acc)
+                        acc rows)
+                    [] ltuples
+                  |> List.rev)
+          | Physical.Join _ ->
+              invalid_arg "Executor: index-nl join needs a base right input")
+      | Physical.Nl_join ->
+          let ltuples = eval st left and rtuples = eval st right in
+          List.fold_left
+            (fun acc lt ->
+              List.fold_left
+                (fun acc rt ->
+                  let tuple = lt @ rt in
+                  let ok =
+                    List.for_all
+                      (fun (lc, rc) ->
+                        eval_cmp Logical.C_eq
+                          (value_of st tuple tables lc)
+                          (value_of st tuple tables rc))
+                      conds
+                  in
+                  if ok then emit acc tuple else acc)
+                acc rtuples)
+            [] ltuples
+          |> List.rev)
+
+let run_plan db plan =
+  let st = { db; m = zero_measures } in
+  let tuples = eval st plan in
+  (tuples, st.m)
+
+let run_block db plan out =
+  let st = { db; m = zero_measures } in
+  let tuples = eval st plan in
+  let tables = plan_tables plan in
+  let project tuple =
+    match out with
+    | [] ->
+        List.concat_map (fun (_, (row : Storage.row)) -> Array.to_list row) tuple
+    | cols -> List.map (fun c -> value_of st tuple tables c) cols
+  in
+  let rows = List.map project tuples in
+  (rows, { st.m with output_rows = List.length rows })
+
+let run_query db blocks =
+  List.fold_left
+    (fun (rows, m) (plan, out) ->
+      let r, m' = run_block db plan out in
+      ( rows @ r,
+        {
+          tuples_scanned = m.tuples_scanned + m'.tuples_scanned;
+          index_probes = m.index_probes + m'.index_probes;
+          join_tuples = m.join_tuples + m'.join_tuples;
+          bytes_read = m.bytes_read +. m'.bytes_read;
+          output_rows = m.output_rows + m'.output_rows;
+        } ))
+    ([], zero_measures) blocks

@@ -1,0 +1,36 @@
+(** Interpretation of physical plans over the in-memory storage engine.
+
+    Used by integration tests and examples to actually run translated
+    workloads, and to sanity-check the cost model: [measures] reports
+    the real work done (tuples scanned, index probes, bytes touched) so
+    estimate {e orderings} can be compared against actual behaviour. *)
+
+open Legodb_relational
+
+type tuple = (string * Storage.row) list
+(** A joined tuple: alias -> base row. *)
+
+type measures = {
+  tuples_scanned : int;  (** rows fetched by sequential scans *)
+  index_probes : int;
+  join_tuples : int;  (** rows materialized by joins *)
+  bytes_read : float;
+  output_rows : int;
+}
+
+val zero_measures : measures
+
+val run_plan : Storage.t -> Physical.plan -> tuple list * measures
+(** Evaluate a plan bottom-up.  @raise Invalid_argument if the plan
+    references unknown tables or columns. *)
+
+val run_block :
+  Storage.t -> Physical.plan -> Logical.col list -> Rtype.value list list * measures
+(** [run_plan] followed by projection ([\[\]] projects every column of
+    every relation, in plan order). *)
+
+val run_query :
+  Storage.t ->
+  (Physical.plan * Logical.col list) list ->
+  Rtype.value list list * measures
+(** Run each block and concatenate results (outer-union semantics). *)

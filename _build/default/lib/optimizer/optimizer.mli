@@ -1,0 +1,65 @@
+(** Cost-based plan selection — the stand-in for the paper's
+    Volcano-variant relational optimizer [12,16].
+
+    For each SPJ block: selections are pushed to the scans, access
+    paths (sequential scan vs. clustered/unclustered index probe) and
+    join methods (hash join, index nested loops, nested loops) are
+    chosen by estimated cost, and the join order is found with
+    System-R-style dynamic programming over connected sub-plans (a
+    greedy left-deep fallback kicks in beyond {!dp_limit} relations).
+    The final cost adds the cost of writing the result out, which is
+    what makes publishing workloads sensitive to row widths. *)
+
+open Legodb_relational
+
+type result = {
+  plan : Physical.plan;
+  rows : float;  (** estimated result cardinality *)
+  cost : Cost.t;  (** estimated cost, including result output *)
+}
+
+val dp_limit : int
+(** Maximum number of relations optimized with exact DP (10). *)
+
+val optimize_block :
+  ?params:Cost.params ->
+  ?shared:(string, unit) Hashtbl.t ->
+  Rschema.t ->
+  Logical.block ->
+  result
+(** @raise Invalid_argument on an ill-formed block (unknown tables or
+    columns, empty relation list).
+
+    [?shared] is the common-subexpression cache used by {!query_cost}:
+    a base-table access whose signature is already in the cache is
+    charged CPU but no I/O (the table was just read by an earlier block
+    of the same query and sits in the buffer pool — the sharing a
+    multi-query-optimizing Volcano performs); the accesses of the
+    chosen plan are added to the cache. *)
+
+val query_cost :
+  ?params:Cost.params -> Rschema.t -> Logical.query -> result list * float
+(** Optimize every block with a fresh shared-access cache; the query's
+    scalar cost is the sum of block costs. *)
+
+val workload_cost :
+  ?params:Cost.params -> Rschema.t -> (Logical.query * float) list -> float
+(** Weighted sum of query costs — the objective minimized by the
+    greedy search. *)
+
+val write_cost :
+  ?params:Cost.params -> Rschema.t -> Logical.update -> float
+(** Cost of one translated update: for each write, the cost of the
+    locating block (shared-access cache across the update's writes)
+    plus, per affected row, one page write and the maintenance of every
+    index on the table (a seek and a tuple of CPU each); updates in
+    place touch one index. *)
+
+val mixed_workload_cost :
+  ?params:Cost.params ->
+  Rschema.t ->
+  queries:(Logical.query * float) list ->
+  updates:(Logical.update * float) list ->
+  float
+(** Weighted queries plus weighted updates — the objective for
+    update-aware storage design (the paper's future-work extension). *)

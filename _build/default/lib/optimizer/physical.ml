@@ -1,0 +1,42 @@
+type access = Seq_scan | Index_probe of { column : string }
+
+type join_method =
+  | Hash_join
+  | Index_nl of { column : string }
+  | Nl_join
+
+type plan =
+  | Scan of {
+      rel : Logical.relation;
+      access : access;
+      filters : Logical.pred list;
+    }
+  | Join of {
+      jm : join_method;
+      left : plan;
+      right : plan;
+      conds : (Logical.col * Logical.col) list;
+      extra : Logical.pred list;
+    }
+
+let rec relations = function
+  | Scan { rel; _ } -> [ rel ]
+  | Join { left; right; _ } -> relations left @ relations right
+
+let pp_method fmt = function
+  | Hash_join -> Format.pp_print_string fmt "hash-join"
+  | Index_nl { column } -> Format.fprintf fmt "index-nl-join(%s)" column
+  | Nl_join -> Format.pp_print_string fmt "nl-join"
+
+let rec pp fmt = function
+  | Scan { rel; access; filters } ->
+      (match access with
+      | Seq_scan -> Format.fprintf fmt "scan %s" rel.Logical.table
+      | Index_probe { column } ->
+          Format.fprintf fmt "index %s.%s" rel.Logical.table column);
+      if rel.alias <> rel.table then Format.fprintf fmt " as %s" rel.alias;
+      if filters <> [] then
+        Format.fprintf fmt " [%d filters]" (List.length filters)
+  | Join { jm; left; right; conds; _ } ->
+      Format.fprintf fmt "@[<v 2>%a on %d cond(s)@,%a@,%a@]" pp_method jm
+        (List.length conds) pp left pp right

@@ -1,0 +1,1 @@
+lib/pschema/pschema.ml: Format Legodb_xtype List String Xschema Xtype

@@ -1,0 +1,1 @@
+lib/pschema/pschema.mli: Format Legodb_xtype Xschema Xtype

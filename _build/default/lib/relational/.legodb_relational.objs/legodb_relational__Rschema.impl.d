@@ -1,0 +1,1 @@
+lib/relational/rschema.ml: Float Format List Rtype String

@@ -1,0 +1,1 @@
+lib/relational/rtype.ml: Buffer Format Int String

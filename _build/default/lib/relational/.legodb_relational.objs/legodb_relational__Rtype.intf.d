@@ -1,0 +1,1 @@
+lib/relational/rtype.mli: Format

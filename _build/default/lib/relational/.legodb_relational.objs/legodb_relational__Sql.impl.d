@@ -1,0 +1,1 @@
+lib/relational/sql.ml: Buffer Format List Printf Rschema Rtype String

@@ -1,0 +1,1 @@
+lib/relational/sql.mli: Format Rschema

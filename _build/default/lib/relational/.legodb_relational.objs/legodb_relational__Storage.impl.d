@@ -1,0 +1,1 @@
+lib/relational/storage.ml: Array Format Hashtbl List Option Printf Rschema Rtype Seq

@@ -1,0 +1,171 @@
+type row = Rtype.value array
+
+(* a minimal growable array *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let cap = max 16 (2 * Array.length v.data) in
+      let data = Array.make cap x in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i =
+    if i < 0 || i >= v.len then invalid_arg "Vec.get" else v.data.(i)
+
+  let length v = v.len
+
+  let to_seq v =
+    let rec go i () =
+      if i >= v.len then Seq.Nil else Seq.Cons (v.data.(i), go (i + 1))
+    in
+    go 0
+end
+
+type table_data = {
+  schema : Rschema.table;
+  rows : row Vec.t;
+  indexes : (string, (Rtype.value, int list) Hashtbl.t) Hashtbl.t;
+  (* column name -> value -> row positions (most recent first) *)
+  positions : (string * int) list;  (* column name -> array position *)
+}
+
+type t = {
+  cat : Rschema.t;
+  tables : (string, table_data) Hashtbl.t;
+}
+
+let catalog db = db.cat
+
+let create (cat : Rschema.t) =
+  let tables = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Rschema.table) ->
+      let indexes = Hashtbl.create 4 in
+      List.iter
+        (fun cname -> Hashtbl.replace indexes cname (Hashtbl.create 64))
+        tbl.indexed;
+      Hashtbl.replace tables tbl.tname
+        {
+          schema = tbl;
+          rows = Vec.create ();
+          indexes;
+          positions =
+            List.mapi (fun i (c : Rschema.column) -> (c.cname, i)) tbl.columns;
+        })
+    cat.tables;
+  { cat; tables }
+
+let table_data db name =
+  match Hashtbl.find_opt db.tables name with
+  | Some td -> td
+  | None -> invalid_arg (Printf.sprintf "Storage: unknown table %s" name)
+
+let column_position db ~table ~column =
+  match List.assoc_opt column (table_data db table).positions with
+  | Some i -> i
+  | None -> raise Not_found
+
+let insert db name row =
+  let td = table_data db name in
+  if Array.length row <> List.length td.schema.columns then
+    invalid_arg
+      (Printf.sprintf "Storage.insert: arity mismatch for table %s" name);
+  let pos = Vec.length td.rows in
+  Vec.push td.rows row;
+  Hashtbl.iter
+    (fun cname idx ->
+      match List.assoc_opt cname td.positions with
+      | Some i ->
+          let v = row.(i) in
+          let existing = Option.value ~default:[] (Hashtbl.find_opt idx v) in
+          Hashtbl.replace idx v (pos :: existing)
+      | None -> ())
+    td.indexes
+
+let row_count db name = Vec.length (table_data db name).rows
+let scan db name = Vec.to_seq (table_data db name).rows
+let get db name i = Vec.get (table_data db name).rows i
+
+let lookup db ~table ~column value =
+  let td = table_data db table in
+  match Hashtbl.find_opt td.indexes column with
+  | Some idx ->
+      let positions = Option.value ~default:[] (Hashtbl.find_opt idx value) in
+      List.rev_map (Vec.get td.rows) positions
+  | None -> (
+      match List.assoc_opt column td.positions with
+      | Some i ->
+          Seq.fold_left
+            (fun acc row ->
+              if Rtype.value_equal row.(i) value then row :: acc else acc)
+            [] (Vec.to_seq td.rows)
+          |> List.rev
+      | None -> invalid_arg "Storage.lookup: unknown column")
+
+let total_rows db =
+  Hashtbl.fold (fun _ td n -> n + Vec.length td.rows) db.tables 0
+
+let refresh_table_stats db (tbl : Rschema.table) =
+  let td = table_data db tbl.tname in
+  let card = float_of_int (Vec.length td.rows) in
+  let columns =
+    List.mapi
+      (fun i (c : Rschema.column) ->
+        let distinct_tbl = Hashtbl.create 64 in
+        let nulls = ref 0 in
+        let widths = ref 0. in
+        let vmin = ref None and vmax = ref None in
+        Seq.iter
+          (fun (row : row) ->
+            let v = row.(i) in
+            widths := !widths +. float_of_int (Rtype.value_width v);
+            match v with
+            | Rtype.V_null -> incr nulls
+            | Rtype.V_int n ->
+                Hashtbl.replace distinct_tbl v ();
+                vmin := Some (match !vmin with None -> n | Some m -> min m n);
+                vmax := Some (match !vmax with None -> n | Some m -> max m n)
+            | Rtype.V_string _ -> Hashtbl.replace distinct_tbl v ())
+          (Vec.to_seq td.rows);
+        let n = Vec.length td.rows in
+        let stats =
+          {
+            Rschema.distinct = float_of_int (Hashtbl.length distinct_tbl);
+            null_frac = (if n = 0 then 0. else float_of_int !nulls /. float_of_int n);
+            v_min = !vmin;
+            v_max = !vmax;
+            avg_width =
+              (if n = 0 then float_of_int (Rtype.width c.ctype)
+               else !widths /. float_of_int n);
+          }
+        in
+        { c with Rschema.stats })
+      tbl.columns
+  in
+  { tbl with Rschema.columns; card }
+
+let refresh_stats db =
+  let cat =
+    { Rschema.tables = List.map (refresh_table_stats db) db.cat.tables }
+  in
+  let tables = Hashtbl.copy db.tables in
+  List.iter
+    (fun (tbl : Rschema.table) ->
+      match Hashtbl.find_opt tables tbl.tname with
+      | Some td -> Hashtbl.replace tables tbl.tname { td with schema = tbl }
+      | None -> ())
+    cat.tables;
+  { cat; tables }
+
+let pp_summary fmt db =
+  List.iter
+    (fun (tbl : Rschema.table) ->
+      Format.fprintf fmt "%-24s %8d rows@." tbl.tname (row_count db tbl.tname))
+    db.cat.tables

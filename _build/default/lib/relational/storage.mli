@@ -1,0 +1,41 @@
+(** In-memory row storage with hash indexes.
+
+    This is the execution substrate behind the cost model: integration
+    tests shred documents into it, run translated queries with
+    {!Legodb_optimizer.Executor}, and check that the optimizer's
+    estimate {e orderings} agree with actual work done. *)
+
+type row = Rtype.value array
+(** One value per column, in catalog column order. *)
+
+type t
+
+val create : Rschema.t -> t
+(** An empty database for the catalog.  Indexes declared in the catalog
+    are maintained incrementally on insert. *)
+
+val catalog : t -> Rschema.t
+
+val insert : t -> string -> row -> unit
+(** Append a row.  @raise Invalid_argument if the table is unknown or
+    the row has the wrong arity. *)
+
+val row_count : t -> string -> int
+val scan : t -> string -> row Seq.t
+
+val get : t -> string -> int -> row
+(** Row by position (0-based). *)
+
+val lookup : t -> table:string -> column:string -> Rtype.value -> row list
+(** Index lookup; falls back to a scan when the column has no index. *)
+
+val column_position : t -> table:string -> column:string -> int
+(** @raise Not_found *)
+
+val refresh_stats : t -> t
+(** Recompute catalog statistics (cardinalities, distinct counts, null
+    fractions, widths, min/max) from the stored data.  Returns a
+    database sharing the same rows with an updated catalog. *)
+
+val total_rows : t -> int
+val pp_summary : Format.formatter -> t -> unit

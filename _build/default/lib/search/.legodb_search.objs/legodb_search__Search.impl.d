@@ -1,0 +1,1 @@
+lib/search/search.ml: Float Format Hashtbl Init Legodb_mapping Legodb_optimizer Legodb_relational Legodb_transform Legodb_xquery Legodb_xtype List Printf Rschema Space String Xschema

@@ -1,0 +1,1 @@
+lib/search/search.mli: Format Legodb_optimizer Legodb_transform Legodb_xquery Legodb_xtype Space Xschema

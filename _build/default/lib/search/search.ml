@@ -1,0 +1,240 @@
+open Legodb_xtype
+open Legodb_transform
+open Legodb_relational
+module Mapping = Legodb_mapping.Mapping
+module Xq_translate = Legodb_mapping.Xq_translate
+
+exception Cost_error of string
+
+let pschema_cost ?params ?(workload_indexes = false)
+    ?(updates = ([] : (Legodb_xquery.Xq_ast.update * float) list)) ~workload
+    schema =
+  match Mapping.of_pschema schema with
+  | Error es -> raise (Cost_error (String.concat "; " es))
+  | Ok m -> (
+      match
+        ( Xq_translate.translate_workload m workload,
+          Xq_translate.translate_updates m updates )
+      with
+      | exception Xq_translate.Untranslatable msg -> raise (Cost_error msg)
+      | queries, writes ->
+          let catalog =
+            if workload_indexes then
+              Rschema.add_indexes m.Mapping.catalog
+                (Xq_translate.equality_columns (List.map fst queries))
+            else m.Mapping.catalog
+          in
+          Legodb_optimizer.Optimizer.mixed_workload_cost ?params catalog
+            ~queries ~updates:writes)
+
+type trace_entry = {
+  iteration : int;
+  cost : float;
+  step : Space.step option;
+  tables : int;
+}
+
+type result = { schema : Xschema.t; cost : float; trace : trace_entry list }
+
+let table_count schema =
+  List.length
+    (List.filter
+       (fun ty -> not (Mapping.is_transparent schema ty))
+       (Xschema.reachable schema))
+
+let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
+    ?(threshold = 0.) ?(max_iterations = 200) ~workload schema =
+  let cost_of s =
+    match pschema_cost ?params ?workload_indexes ?updates ~workload s with
+    | c -> Some c
+    | exception Cost_error _ -> None
+  in
+  let initial_cost =
+    match cost_of schema with
+    | Some c -> c
+    | None -> raise (Cost_error "initial configuration cannot be costed")
+  in
+  let rec descend iteration schema cost trace =
+    if iteration >= max_iterations then (schema, cost, trace)
+    else
+      let best =
+        List.fold_left
+          (fun best (step, schema') ->
+            match cost_of schema' with
+            | None -> best
+            | Some cost' -> (
+                match best with
+                | Some (_, _, bc) when bc <= cost' -> best
+                | _ -> Some (step, schema', cost')))
+          None
+          (Space.neighbors ~kinds schema)
+      in
+      match best with
+      | Some (step, schema', cost') when cost' < cost *. (1. -. threshold) ->
+          let entry =
+            {
+              iteration = iteration + 1;
+              cost = cost';
+              step = Some step;
+              tables = table_count schema';
+            }
+          in
+          descend (iteration + 1) schema' cost' (entry :: trace)
+      | Some _ | None -> (schema, cost, trace)
+  in
+  let trace0 =
+    [ { iteration = 0; cost = initial_cost; step = None; tables = table_count schema } ]
+  in
+  let schema, cost, trace = descend 0 schema initial_cost trace0 in
+  { schema; cost; trace = List.rev trace }
+
+let greedy_so ?params ?workload_indexes ?updates ?threshold ~workload schema =
+  greedy ?params ?workload_indexes ?updates ?threshold
+    ~kinds:[ Space.K_inline ] ~workload (Init.all_outlined schema)
+
+let greedy_si ?params ?workload_indexes ?updates ?threshold ~workload schema =
+  greedy ?params ?workload_indexes ?updates ?threshold
+    ~kinds:[ Space.K_outline ] ~workload (Init.all_inlined schema)
+
+let pp_trace fmt trace =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%3d  cost %12.1f  tables %3d  %a@." e.iteration e.cost
+        e.tables
+        (fun fmt -> function
+          | Some s -> Space.pp_step fmt s
+          | None -> Format.pp_print_string fmt "(initial)")
+        e.step)
+    trace
+
+(* ------------------------------------------------------------------ *)
+(* beam search (the "dynamic programming search strategies" of §7)     *)
+(* ------------------------------------------------------------------ *)
+
+(* A name-independent fingerprint of the relational configuration a
+   schema maps to, used to prune transformation sequences that reach the
+   same design through different step orders.  Fresh type names differ
+   between paths, so the fingerprint uses column shapes, not names. *)
+let fingerprint schema =
+  match Mapping.of_pschema schema with
+  | Error _ -> Xschema.to_string schema
+  | Ok m ->
+      let tables = m.Mapping.catalog.Legodb_relational.Rschema.tables in
+      let shape (t : Rschema.table) =
+        let cols =
+          List.filter_map
+            (fun (c : Rschema.column) ->
+              if
+                String.equal c.Rschema.cname t.Rschema.key
+                || List.mem_assoc c.Rschema.cname t.Rschema.fks
+              then None
+              else
+                Some
+                  (Printf.sprintf "%s:%s%s" c.Rschema.cname
+                     (Legodb_relational.Rtype.to_sql c.Rschema.ctype)
+                     (if c.Rschema.nullable then "?" else "")))
+            t.Rschema.columns
+        in
+        (* the cardinality distinguishes structurally symmetric tables
+           (outlining year from Played vs from Directed leaves identical
+           column shapes) *)
+        Printf.sprintf "[%s|%.0f]"
+          (String.concat "," (List.sort String.compare cols))
+          t.Rschema.card
+      in
+      let shapes =
+        List.map (fun (t : Rschema.table) -> (t.Rschema.tname, shape t)) tables
+      in
+      (* one Weisfeiler–Leman round: a table's label includes its
+         parents' shapes, separating e.g. "title outlined from Directed"
+         from "year outlined from Directed" (the bare column multisets
+         coincide) *)
+      tables
+      |> List.map (fun (t : Rschema.table) ->
+             let parents =
+               List.filter_map
+                 (fun (_, p) -> List.assoc_opt p shapes)
+                 t.Rschema.fks
+             in
+             shape t ^ "<" ^ String.concat "," (List.sort String.compare parents) ^ ">")
+      |> List.sort String.compare |> String.concat ";"
+
+let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
+    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ~workload schema =
+  let cost_of s =
+    match pschema_cost ?params ?workload_indexes ?updates ~workload s with
+    | c -> Some c
+    | exception Cost_error _ -> None
+  in
+  let initial_cost =
+    match cost_of schema with
+    | Some c -> c
+    | None -> raise (Cost_error "initial configuration cannot be costed")
+  in
+  let seen = Hashtbl.create 64 in
+  Hashtbl.replace seen (fingerprint schema) ();
+  let best = ref (schema, initial_cost) in
+  let trace =
+    ref
+      [ { iteration = 0; cost = initial_cost; step = None; tables = table_count schema } ]
+  in
+  let rec level i barren frontier =
+    if i >= max_iterations || barren >= patience || frontier = [] then ()
+    else begin
+      (* configurations reached by commuting step orders collide: dedupe
+         within the level, but blacklist globally only what the beam
+         actually keeps — otherwise a discarded sibling blocks the path
+         that needs the same configuration one level later *)
+      let level_seen = Hashtbl.create 32 in
+      let candidates =
+        List.concat_map
+          (fun (s, _) ->
+            List.filter_map
+              (fun (step, s') ->
+                let fp = fingerprint s' in
+                if Hashtbl.mem seen fp || Hashtbl.mem level_seen fp then None
+                else begin
+                  Hashtbl.replace level_seen fp ();
+                  match cost_of s' with
+                  | Some c -> Some (step, s', c, fp)
+                  | None -> None
+                end)
+              (Space.neighbors ~kinds s))
+          frontier
+      in
+      let sorted =
+        List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare a b) candidates
+      in
+      let keep =
+        List.filteri (fun j _ -> j < width) sorted
+        |> List.map (fun (step, s, c, fp) ->
+               Hashtbl.replace seen fp ();
+               (step, s, c))
+      in
+
+      match keep with
+      | [] -> ()
+      | (step, s0, c0) :: _ ->
+          let improved = c0 < snd !best in
+          if improved then begin
+            best := (s0, c0);
+            trace :=
+              {
+                iteration = i + 1;
+                cost = c0;
+                step = Some step;
+                tables = table_count s0;
+              }
+              :: !trace
+          end;
+          (* continue from every kept candidate, improving or not: the
+             beam can cross small cost hills, but gives up after
+             [patience] barren levels *)
+          level (i + 1)
+            (if improved then 0 else barren + 1)
+            (List.map (fun (_, s, c) -> (s, c)) keep)
+    end
+  in
+  level 0 0 [ (schema, initial_cost) ];
+  let schema, cost = !best in
+  { schema; cost; trace = List.rev !trace }

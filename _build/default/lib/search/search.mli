@@ -1,0 +1,105 @@
+(** The greedy search of Algorithm 4.1.
+
+    Each iteration evaluates every single-step transformation of the
+    current p-schema ([ApplyTransformations]) with the relational
+    optimizer ([GetPSchemaCost]) and moves to the cheapest neighbour,
+    stopping when no step improves the cost (or when the improvement
+    falls below a relative threshold, the optimization suggested in
+    Section 5.2). *)
+
+open Legodb_xtype
+open Legodb_transform
+
+exception Cost_error of string
+(** Raised when a configuration cannot be costed (mapping or
+    translation failure) — indicates a schema outside the supported
+    fragment. *)
+
+val pschema_cost :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  workload:Legodb_xquery.Workload.t ->
+  Xschema.t ->
+  float
+(** [GetPSchemaCost]: derive the relational catalog and statistics,
+    translate the workload, and return its weighted optimizer cost.
+    By default only the keys and foreign keys the mapping generates are
+    indexed (the paper's setting); [~workload_indexes:true] additionally
+    grants an index on every column the workload compares to a constant,
+    modelling a tuned installation.  [?updates] adds weighted update
+    statements to the objective (Section 7's future-work extension):
+    wider tables and deeper outlining both make writes more expensive,
+    so update-heavy workloads pull the search toward fewer, narrower
+    tables. *)
+
+type trace_entry = {
+  iteration : int;
+  cost : float;
+  step : Space.step option;  (** [None] for the initial configuration *)
+  tables : int;  (** size of the configuration's catalog *)
+}
+
+type result = {
+  schema : Xschema.t;  (** the selected configuration *)
+  cost : float;
+  trace : trace_entry list;  (** iteration 0 first *)
+}
+
+val greedy :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?kinds:Space.kind list ->
+  ?threshold:float ->
+  ?max_iterations:int ->
+  workload:Legodb_xquery.Workload.t ->
+  Xschema.t ->
+  result
+(** Greedy descent from the given p-schema.  [kinds] defaults to
+    {!Space.default_kinds} (inline/outline); [threshold] (default [0.])
+    stops early when the relative improvement drops below it;
+    [max_iterations] defaults to 200. *)
+
+val greedy_so :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?threshold:float ->
+  workload:Legodb_xquery.Workload.t ->
+  Xschema.t ->
+  result
+(** The paper's [greedy-so]: start from the all-outlined configuration
+    and explore inlining steps. *)
+
+val greedy_si :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?threshold:float ->
+  workload:Legodb_xquery.Workload.t ->
+  Xschema.t ->
+  result
+(** The paper's [greedy-si]: start from the all-inlined configuration
+    and explore outlining steps. *)
+
+val pp_trace : Format.formatter -> trace_entry list -> unit
+
+val beam :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?kinds:Space.kind list ->
+  ?width:int ->
+  ?patience:int ->
+  ?max_iterations:int ->
+  workload:Legodb_xquery.Workload.t ->
+  Xschema.t ->
+  result
+(** Beam search over transformation sequences (the "dynamic programming
+    search strategies" of Section 7's future work): keeps the [width]
+    (default 4) cheapest {e distinct} configurations per level —
+    distinctness judged by a name-independent fingerprint of the mapped
+    catalog — and can therefore cross small cost hills the greedy
+    descent cannot (it stops after [patience] levels without
+    improvement, default 3).  Returns the best configuration seen. *)

@@ -1,0 +1,1 @@
+lib/stats/annotate.ml: Hashtbl Label Legodb_xtype List Option Pathstat Queue Set String Xschema Xtype

@@ -1,0 +1,1 @@
+lib/stats/annotate.mli: Legodb_xtype Pathstat

@@ -1,0 +1,1 @@
+lib/stats/collector.ml: Hashtbl Legodb_xml List Pathstat Seq String Xml

@@ -1,0 +1,1 @@
+lib/stats/collector.mli: Legodb_xml Pathstat

@@ -1,0 +1,1 @@
+lib/stats/pathstat.ml: Format List Map Option String

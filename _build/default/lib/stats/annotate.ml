@@ -1,0 +1,233 @@
+open Legodb_xtype
+
+let max_context_depth = 32
+let max_contexts = 256
+
+let path_step (label : Label.t) =
+  match label with Label.Name n -> n | Label.Any | Label.Any_except _ -> "TILDE"
+
+(* For each Ref in a type body, the element tags crossed from the body
+   root down to the Ref. *)
+let ref_contexts body =
+  let rec go rel t acc =
+    match t with
+    | Xtype.Ref n -> (n, List.rev rel) :: acc
+    | Xtype.Elem e -> go (path_step e.label :: rel) e.content acc
+    | Xtype.Empty | Xtype.Scalar _ -> acc
+    | Xtype.Attr (_, u) | Xtype.Rep (u, _) -> go rel u acc
+    | Xtype.Seq ts | Xtype.Choice ts ->
+        List.fold_left (fun acc u -> go rel u acc) acc ts
+  in
+  List.rev (go [] body [])
+
+module PSet = Set.Make (struct
+  type t = string list
+
+  let compare = compare
+end)
+
+(* Contexts: for each reachable type, the set of absolute element paths
+   under which its body occurs. *)
+let compute_contexts schema =
+  let ctxs : (string, PSet.t) Hashtbl.t = Hashtbl.create 16 in
+  let get name = Option.value ~default:PSet.empty (Hashtbl.find_opt ctxs name) in
+  let queue = Queue.create () in
+  Hashtbl.replace ctxs (Xschema.root schema) (PSet.singleton []);
+  Queue.add (Xschema.root schema, []) queue;
+  while not (Queue.is_empty queue) do
+    let name, ctx = Queue.pop queue in
+    match Xschema.find_opt schema name with
+    | None -> ()
+    | Some body ->
+        List.iter
+          (fun (ref_name, rel) ->
+            let path = ctx @ rel in
+            if List.length path <= max_context_depth then
+              let existing = get ref_name in
+              if
+                (not (PSet.mem path existing))
+                && PSet.cardinal existing < max_contexts
+              then begin
+                Hashtbl.replace ctxs ref_name (PSet.add path existing);
+                Queue.add (ref_name, path) queue
+              end)
+          (ref_contexts body)
+  done;
+  ctxs
+
+let contexts schema =
+  let ctxs = compute_contexts schema in
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun set -> (name, PSet.elements set))
+        (Hashtbl.find_opt ctxs name))
+    (Xschema.reachable schema)
+
+(* Sum an optional-int query over a list of paths. *)
+let sum_over stats paths f =
+  let vals = List.filter_map (fun p -> f stats p) paths in
+  match vals with [] -> None | vs -> Some (List.fold_left ( + ) 0 vs)
+
+let scalar_stats_at stats paths kind : Xtype.scalar_stats option =
+  let entries = List.filter_map (Pathstat.find stats) paths in
+  if entries = [] then None
+  else
+    let size =
+      let sizes = List.filter_map (fun (e : Pathstat.entry) -> e.size) entries in
+      match sizes with
+      | [] -> Xtype.default_width kind
+      | ss -> List.fold_left max 0 ss
+    in
+    let bases = List.filter_map (fun (e : Pathstat.entry) -> e.base) entries in
+    let s_min =
+      match bases with
+      | [] -> None
+      | _ -> Some (List.fold_left (fun m (lo, _, _) -> min m lo) max_int bases)
+    in
+    let s_max =
+      match bases with
+      | [] -> None
+      | _ -> Some (List.fold_left (fun m (_, hi, _) -> max m hi) min_int bases)
+    in
+    let distinct =
+      let from_base =
+        match bases with
+        | [] -> None
+        | _ -> Some (List.fold_left (fun n (_, _, d) -> n + d) 0 bases)
+      in
+      let from_distinct =
+        let ds =
+          List.filter_map (fun (e : Pathstat.entry) -> e.distinct) entries
+        in
+        match ds with [] -> None | _ -> Some (List.fold_left ( + ) 0 ds)
+      in
+      match (from_base, from_distinct) with
+      | Some a, Some b -> Some (max a b)
+      | (Some _ as r), None | None, (Some _ as r) -> r
+      | None, None -> None
+    in
+    Some { Xtype.width = size; s_min; s_max; distinct }
+
+(* Declared tags at a content level: attribute names and concretely
+   named element tags, crossing Refs one level but not elements. *)
+let declared_names schema content =
+  let rec go depth t acc =
+    match t with
+    | Xtype.Attr (n, _) -> n :: acc
+    | Xtype.Elem { label = Label.Name n; _ } -> n :: acc
+    | Xtype.Elem _ -> acc
+    | Xtype.Ref n when depth > 0 -> (
+        match Xschema.find_opt schema n with
+        | Some body -> go (depth - 1) body acc
+        | None -> acc)
+    | Xtype.Ref _ | Xtype.Empty | Xtype.Scalar _ -> acc
+    | Xtype.Rep (u, _) -> go depth u acc
+    | Xtype.Seq ts | Xtype.Choice ts ->
+        List.fold_left (fun acc u -> go depth u acc) acc ts
+  in
+  go 2 content []
+
+(* Tag distribution for a wildcard element occurring under [paths]. *)
+let wildcard_labels stats paths label declared =
+  List.concat_map
+    (fun parent ->
+      List.filter_map
+        (fun (step, (e : Pathstat.entry)) ->
+          if
+            (not (String.equal step "TILDE"))
+            && Label.matches label step
+            && (not (List.mem step declared))
+          then Option.map (fun c -> (step, float_of_int c)) e.count
+          else None)
+        (Pathstat.children stats parent))
+    paths
+
+let annotate_body schema stats ctxs body =
+  (* [paths]: absolute element paths of the current content level.
+     [inherited]: the count of the enclosing element, passed down to
+     mandatory singleton children with no explicit statistics (the
+     appendix records STsize but no STcnt for title, year, name, ...);
+     repetitions and unions break the inheritance. *)
+  let start_inherited =
+    match List.filter_map (Pathstat.count stats) ctxs with
+    | [] -> None
+    | cs -> Some (float_of_int (List.fold_left ( + ) 0 cs))
+  in
+  let rec go paths siblings ~inherited t =
+    match t with
+    | Xtype.Empty | Xtype.Ref _ -> t
+    | Xtype.Scalar (kind, _) ->
+        Xtype.Scalar (kind, scalar_stats_at stats paths kind)
+    | Xtype.Attr (n, u) ->
+        let apaths = List.map (fun p -> p @ [ n ]) paths in
+        Xtype.Attr (n, go apaths [] ~inherited:None u)
+    | Xtype.Elem e ->
+        let step = path_step e.label in
+        let epaths = List.map (fun p -> p @ [ step ]) paths in
+        let direct_count =
+          Option.map float_of_int (sum_over stats epaths Pathstat.count)
+        in
+        let is_wild =
+          match e.label with
+          | Label.Any | Label.Any_except _ -> true
+          | Label.Name _ -> false
+        in
+        let labels =
+          if is_wild then wildcard_labels stats paths e.label siblings else []
+        in
+        let count =
+          match direct_count with
+          | Some _ as c -> c
+          | None when labels <> [] ->
+              Some (List.fold_left (fun a (_, c) -> a +. c) 0. labels)
+          | None -> inherited
+        in
+        let content_paths =
+          (* for wildcard content, value statistics live under TILDE when
+             given explicitly, otherwise under the concrete tags *)
+          if is_wild && labels <> [] && direct_count = None then
+            List.concat_map
+              (fun p -> List.map (fun (l, _) -> p @ [ l ]) labels)
+              paths
+          else epaths
+        in
+        let content =
+          go content_paths
+            (declared_names schema e.content)
+            ~inherited:count e.content
+        in
+        Xtype.Elem { e with content; ann = { Xtype.count; labels } }
+    | Xtype.Seq ts -> Xtype.Seq (List.map (go paths siblings ~inherited) ts)
+    | Xtype.Choice ts ->
+        Xtype.Choice (List.map (go paths siblings ~inherited:None) ts)
+    | Xtype.Rep (u, o) -> Xtype.Rep (go paths siblings ~inherited:None u, o)
+  in
+  go ctxs (declared_names schema body) ~inherited:start_inherited body
+
+let schema stats s =
+  let ctxs = compute_contexts s in
+  List.fold_left
+    (fun s name ->
+      match (Xschema.find_opt s name, Hashtbl.find_opt ctxs name) with
+      | Some body, Some paths ->
+          Xschema.update s name
+            (annotate_body s stats (PSet.elements paths) body)
+      | _, _ -> s)
+    s (Xschema.reachable s)
+
+let strip s =
+  let rec go t =
+    match t with
+    | Xtype.Empty | Xtype.Ref _ -> t
+    | Xtype.Scalar (k, _) -> Xtype.Scalar (k, None)
+    | Xtype.Attr (n, u) -> Xtype.Attr (n, go u)
+    | Xtype.Elem e ->
+        Xtype.Elem { e with content = go e.content; ann = Xtype.no_ann }
+    | Xtype.Seq ts -> Xtype.Seq (List.map go ts)
+    | Xtype.Choice ts -> Xtype.Choice (List.map go ts)
+    | Xtype.Rep (u, o) -> Xtype.Rep (go u, o)
+  in
+  List.fold_left
+    (fun s (d : Xschema.defn) -> Xschema.update s d.name (go d.body))
+    s (Xschema.defs s)

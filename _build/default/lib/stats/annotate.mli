@@ -1,0 +1,24 @@
+(** Pushing path statistics into schema annotations.
+
+    The initial physical schema PS0 carries statistics inline
+    (Section 3.1: [String<#50,#34798>], [Review*<#10>], ...).  This
+    module computes, for every type definition, the set of absolute
+    document paths at which the type's content can occur ("contexts"),
+    then annotates every element node with its total occurrence count,
+    every scalar with width / min / max / distinct, and every wildcard
+    element with the observed distribution of concrete tags. *)
+
+val schema : Pathstat.t -> Legodb_xtype.Xschema.t -> Legodb_xtype.Xschema.t
+(** Annotate every reachable definition.  Unannotated facts (paths with
+    no statistics) are left as [None] and downstream consumers fall
+    back to defaults.  Recursive types are handled by bounding context
+    paths at a fixed depth. *)
+
+val strip : Legodb_xtype.Xschema.t -> Legodb_xtype.Xschema.t
+(** Remove every statistics annotation (inverse of {!schema} up to
+    defaults); useful for annotation-insensitive comparisons. *)
+
+val contexts :
+  Legodb_xtype.Xschema.t -> (string * string list list) list
+(** The context paths computed for each reachable type (exposed for
+    testing): [(type name, set of element-path prefixes)]. *)

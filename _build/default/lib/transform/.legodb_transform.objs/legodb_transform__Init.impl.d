@@ -1,0 +1,1 @@
+lib/transform/init.ml: Format Legodb_pschema Legodb_xtype List Rewrite Xschema Xtype

@@ -1,0 +1,1 @@
+lib/transform/init.mli: Legodb_xtype Xschema

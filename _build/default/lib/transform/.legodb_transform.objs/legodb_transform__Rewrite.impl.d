@@ -1,0 +1,1 @@
+lib/transform/rewrite.ml: Float Format Fun Label Legodb_xtype List Option Printf Set String Xschema Xtype

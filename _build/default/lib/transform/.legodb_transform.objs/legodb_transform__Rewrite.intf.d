@@ -1,0 +1,1 @@
+lib/transform/rewrite.mli: Legodb_xtype Xschema Xtype

@@ -1,0 +1,1 @@
+lib/transform/space.ml: Float Format Label Legodb_xtype List Rewrite String Xschema Xtype

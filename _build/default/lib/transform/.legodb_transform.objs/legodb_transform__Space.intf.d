@@ -1,0 +1,1 @@
+lib/transform/space.mli: Format Legodb_xtype Xschema Xtype

@@ -1,0 +1,28 @@
+(** Construction of initial physical schemas (Section 3.1, Section 5.2).
+
+    [normalize] produces {e some} equivalent p-schema (PS0) by outlining
+    exactly the sub-terms that violate the stratified grammar;
+    [all_outlined] and [all_inlined] produce the two extreme starting
+    points used by the paper's [greedy-so] and [greedy-si] searches. *)
+
+open Legodb_xtype
+
+val normalize : Xschema.t -> Xschema.t
+(** Outline every element (or scalar) that occurs under a repetition or
+    union until the schema satisfies {!Legodb_pschema.Pschema.check}.
+    Semantics-preserving.  @raise Rewrite.Not_applicable if a violation
+    cannot be repaired by outlining (e.g. an attribute under a
+    repetition). *)
+
+val all_outlined : Xschema.t -> Xschema.t
+(** {!normalize}, then outline every element that is not the root
+    element of its definition body, to a fixpoint: every element gets
+    its own type name ("all elements outlined except base types"). *)
+
+val all_inlined : ?union_to_options:bool -> Xschema.t -> Xschema.t
+(** {!normalize}, then (by default) rewrite every union in a physical
+    position into optional sequences — the treatment of union that
+    Figure 4(a) attributes to the inline-as-much-as-possible strategy
+    of [19] — and finally inline every inlinable reference to a
+    fixpoint.  With [~union_to_options:false] the result keeps unions
+    (and the types they mention) outlined. *)

@@ -1,0 +1,48 @@
+(** The search space: single-step transformations applicable to a
+    p-schema (the [ApplyTransformations] of Algorithm 4.1). *)
+
+open Legodb_xtype
+
+type kind =
+  | K_inline
+  | K_outline
+  | K_union_dist
+  | K_union_factor
+  | K_rep_split
+  | K_rep_merge
+  | K_wildcard
+  | K_union_opts
+
+type step =
+  | Inline of { tname : string; loc : Xtype.loc; target : string }
+  | Outline of { tname : string; loc : Xtype.loc; tag : string }
+  | Union_dist of { tname : string; loc : Xtype.loc }
+  | Union_factor of { tname : string; loc : Xtype.loc }
+  | Rep_split of { tname : string; loc : Xtype.loc; target : string }
+  | Rep_merge of { tname : string; loc : Xtype.loc }
+  | Wildcard of { tname : string; loc : Xtype.loc; tag : string }
+  | Union_opts of { tname : string; loc : Xtype.loc }
+
+val kind_of_step : step -> kind
+val pp_step : Format.formatter -> step -> unit
+
+val default_kinds : kind list
+(** [[K_inline; K_outline]] — the paper's prototype limits the greedy
+    search to inlining/outlining and explores the other rewritings
+    separately (Section 5). *)
+
+val all_kinds : kind list
+
+val applicable : ?kinds:kind list -> Xschema.t -> step list
+(** Every applicable single-step transformation of the given kinds
+    (default {!default_kinds}), over all reachable definitions.
+    Wildcard steps are proposed for each tag in the annotated label
+    distribution of a wildcard element. *)
+
+val apply : Xschema.t -> step -> Xschema.t
+(** Apply one step.  @raise Rewrite.Not_applicable if the step does not
+    (or no longer does) apply. *)
+
+val neighbors : ?kinds:kind list -> Xschema.t -> (step * Xschema.t) list
+(** [applicable] steps together with their results, skipping any step
+    that fails to apply. *)

@@ -1,0 +1,1 @@
+lib/xmldata/xml.ml: Buffer Format List String

@@ -1,0 +1,1 @@
+lib/xmldata/xml.mli: Format

@@ -1,0 +1,1 @@
+lib/xmldata/xml_parse.ml: Buffer Char List Printf String Uchar Xml

@@ -1,0 +1,1 @@
+lib/xmldata/xml_parse.mli: Xml

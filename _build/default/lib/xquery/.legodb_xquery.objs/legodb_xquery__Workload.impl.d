@@ -1,0 +1,1 @@
+lib/xquery/workload.ml: Format List Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/workload.mli: Format Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.ml: Legodb_xml List Seq String Xml Xq_ast

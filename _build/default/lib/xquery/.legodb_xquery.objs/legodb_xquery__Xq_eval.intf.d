@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.mli: Legodb_xml Xq_ast

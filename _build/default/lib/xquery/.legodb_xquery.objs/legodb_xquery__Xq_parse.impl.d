@@ -1,0 +1,1 @@
+lib/xquery/xq_parse.ml: List Printf Seq String Xq_ast

@@ -1,0 +1,26 @@
+(** Parser for the XQuery subset, accepting the (slightly informal)
+    concrete syntax of the paper's appendix:
+
+    {v
+    FOR $v IN document("imdbdata")/imdb/show
+    WHERE $v/title = c1
+    RETURN $v/title, $v/year, $v/type
+    v}
+
+    including bare document paths ([FOR $v in imdb/show]), reversed
+    bindings ([FOR $v/episode $e]), case-insensitive keywords,
+    comma-or-whitespace separated bindings and return items, element
+    constructors ([<result> ... </result>]) and nested FLWRs in return
+    position, and [(: comments :)]. *)
+
+exception Parse_error of { position : int; message : string }
+
+val parse : ?name:string -> string -> Xq_ast.t
+(** Parse one query.  @raise Parse_error on malformed input. *)
+
+val parse_update : ?name:string -> string -> Xq_ast.update
+(** Parse one update statement:
+    [INSERT imdb/show],
+    [FOR $v IN ... WHERE ... DELETE $v], or
+    [FOR $v IN ... WHERE ... SET $v/path = c].
+    @raise Parse_error *)

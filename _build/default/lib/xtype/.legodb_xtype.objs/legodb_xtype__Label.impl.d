@@ -1,0 +1,1 @@
+lib/xtype/label.ml: Format Int List String

@@ -1,0 +1,1 @@
+lib/xtype/label.mli: Format

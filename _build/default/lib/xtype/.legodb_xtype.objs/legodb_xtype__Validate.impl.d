@@ -1,0 +1,1 @@
+lib/xtype/validate.ml: Format Hashtbl Label Legodb_xml List Option Printf String Xml Xschema Xtype

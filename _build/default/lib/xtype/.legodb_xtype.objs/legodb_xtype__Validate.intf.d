@@ -1,0 +1,1 @@
+lib/xtype/validate.mli: Format Legodb_xml Xschema Xtype

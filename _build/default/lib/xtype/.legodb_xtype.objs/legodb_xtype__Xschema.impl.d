@@ -1,0 +1,1 @@
+lib/xtype/xschema.ml: Format List Map Printf Set String Xtype

@@ -1,0 +1,1 @@
+lib/xtype/xschema.mli: Format Xtype

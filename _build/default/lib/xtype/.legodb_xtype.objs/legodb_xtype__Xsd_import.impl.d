@@ -1,0 +1,1 @@
+lib/xtype/xsd_import.ml: Format Label Legodb_xml List Option String Xml Xml_parse Xschema Xtype

@@ -1,0 +1,1 @@
+lib/xtype/xsd_import.mli: Legodb_xml Xschema

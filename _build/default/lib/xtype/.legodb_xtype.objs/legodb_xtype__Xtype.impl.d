@@ -1,0 +1,1 @@
+lib/xtype/xtype.ml: Float Format Label List Option Seq String

@@ -1,0 +1,1 @@
+lib/xtype/xtype.mli: Format Label

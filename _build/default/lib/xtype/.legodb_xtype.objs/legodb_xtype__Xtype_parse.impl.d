@@ -1,0 +1,1 @@
+lib/xtype/xtype_parse.ml: Label List Printf String Xschema Xtype

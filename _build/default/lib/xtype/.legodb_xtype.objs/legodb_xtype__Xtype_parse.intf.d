@@ -1,0 +1,1 @@
+lib/xtype/xtype_parse.mli: Xschema Xtype

@@ -1,0 +1,266 @@
+open Legodb_xml
+
+type error = { path : string list; message : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "%s: %s" (String.concat "/" e.path) e.message
+
+type item = IAttr of string * string | INode of Xml.t
+
+(* The deepest error seen during a matching attempt: derivative matching
+   explores alternatives, so a single authoritative error does not exist;
+   we keep the one with the longest path, a useful heuristic. *)
+type ctx = { schema : Xschema.t; mutable deepest : error option }
+
+let record ctx path message =
+  let better =
+    match ctx.deepest with
+    | None -> true
+    | Some e -> List.length path >= List.length e.path
+  in
+  if better then ctx.deepest <- Some { path; message }
+
+(* A type whose denotation is a scalar value (possibly a choice of
+   scalar kinds, e.g. AnyScalar = Integer | String). *)
+let rec scalar_kinds schema t =
+  match t with
+  | Xtype.Scalar (k, _) -> Some [ k ]
+  | Xtype.Ref n -> (
+      match Xschema.find_opt schema n with
+      | Some body -> scalar_kinds schema body
+      | None -> None)
+  | Xtype.Choice ts ->
+      let kinds = List.map (scalar_kinds schema) ts in
+      if List.for_all Option.is_some kinds then
+        Some (List.concat_map Option.get kinds)
+      else None
+  | Xtype.Empty | Xtype.Attr _ | Xtype.Elem _ | Xtype.Seq _ | Xtype.Rep _ ->
+      None
+
+(* Attribute names mentioned by a type, without crossing element
+   boundaries, in declaration order. *)
+let attr_order schema t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go visiting t =
+    match t with
+    | Xtype.Attr (n, _) ->
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          out := n :: !out
+        end
+    | Xtype.Ref n ->
+        if not (List.mem n visiting) then
+          Option.iter (go (n :: visiting)) (Xschema.find_opt schema n)
+    | Xtype.Elem _ | Xtype.Empty | Xtype.Scalar _ -> ()
+    | Xtype.Seq ts | Xtype.Choice ts -> List.iter (go visiting) ts
+    | Xtype.Rep (u, _) -> go visiting u
+  in
+  go [] t;
+  List.rev !out
+
+let dec_occurs (o : Xtype.occurs) =
+  let hi =
+    match o.hi with
+    | Xtype.Bounded n -> Xtype.Bounded (n - 1)
+    | Xtype.Unbounded -> Xtype.Unbounded
+  in
+  { Xtype.lo = max 0 (o.lo - 1); hi }
+
+let can_repeat (o : Xtype.occurs) =
+  match o.hi with Xtype.Bounded n -> n >= 1 | Xtype.Unbounded -> true
+
+(* Find the attribute scalar type behind refs. *)
+let attr_value_ok ctx t v =
+  match scalar_kinds ctx.schema t with
+  | Some kinds -> List.exists (fun k -> Xtype.scalar_ok k v) kinds
+  | None -> false
+
+let rec deriv ctx path t item : Xtype.t option =
+  match t with
+  | Xtype.Empty -> None
+  | Xtype.Scalar (k, _) -> (
+      match item with
+      | INode (Xml.Text s) when Xtype.scalar_ok k s -> Some Xtype.Empty
+      | INode _ | IAttr _ -> None)
+  | Xtype.Attr (n, st) -> (
+      match item with
+      | IAttr (n', v) when String.equal n n' ->
+          if attr_value_ok ctx st v then Some Xtype.Empty
+          else begin
+            record ctx path
+              (Printf.sprintf "attribute %s has ill-typed value %S" n v);
+            None
+          end
+      | IAttr _ | INode _ -> None)
+  | Xtype.Elem e -> (
+      match item with
+      | INode (Xml.Element (tag, _, _) as node) when Label.matches e.label tag
+        ->
+          if element_ok ctx (path @ [ tag ]) e node then Some Xtype.Empty
+          else None
+      | INode _ | IAttr _ -> None)
+  | Xtype.Seq ts -> (
+      match ts with
+      | [] -> None
+      | t1 :: rest ->
+          let via_first =
+            match deriv ctx path t1 item with
+            | Some r -> Some (Xtype.seq (r :: rest))
+            | None -> None
+          in
+          let via_rest =
+            if Xschema.nullable ctx.schema t1 then
+              deriv ctx path (Xtype.seq rest) item
+            else None
+          in
+          (match (via_first, via_rest) with
+          | Some a, Some b ->
+              if Xtype.equal a b then Some a else Some (Xtype.choice [ a; b ])
+          | (Some _ as r), None | None, (Some _ as r) -> r
+          | None, None -> None))
+  | Xtype.Choice ts -> (
+      let residuals = List.filter_map (fun u -> deriv ctx path u item) ts in
+      match residuals with [] -> None | rs -> Some (Xtype.choice rs))
+  | Xtype.Rep (u, o) ->
+      if not (can_repeat o) then None
+      else
+        Option.map
+          (fun r -> Xtype.seq [ r; Xtype.rep u (dec_occurs o) ])
+          (deriv ctx path u item)
+  | Xtype.Ref n -> (
+      match Xschema.find_opt ctx.schema n with
+      | Some body -> deriv ctx path body item
+      | None ->
+          record ctx path (Printf.sprintf "undefined type %s" n);
+          None)
+
+and match_items ctx path t items =
+  match items with
+  | [] ->
+      if Xschema.nullable ctx.schema t then true
+      else begin
+        record ctx path "content ended before the type was satisfied";
+        false
+      end
+  | item :: rest -> (
+      match deriv ctx path t item with
+      | Some residual -> match_items ctx path residual rest
+      | None ->
+          let what =
+            match item with
+            | IAttr (n, _) -> Printf.sprintf "attribute @%s" n
+            | INode (Xml.Element (tag, _, _)) -> Printf.sprintf "element <%s>" tag
+            | INode (Xml.Text s) ->
+                Printf.sprintf "text %S"
+                  (if String.length s > 20 then String.sub s 0 20 ^ "..." else s)
+          in
+          record ctx path (what ^ " not allowed here");
+          false)
+
+(* Attributes are unordered in documents, so their position among the
+   siblings of a sequence is irrelevant: hoist attribute particles to
+   the front of every sequence level (matching the order the items are
+   presented in). *)
+and hoist_attrs t =
+  let is_attr_like = function
+    | Xtype.Attr _ | Xtype.Rep (Xtype.Attr _, _) -> true
+    | _ -> false
+  in
+  match t with
+  | Xtype.Seq ts ->
+      let ts = List.map hoist_attrs ts in
+      let attrs, rest = List.partition is_attr_like ts in
+      Xtype.seq (attrs @ rest)
+  | Xtype.Choice ts -> Xtype.choice (List.map hoist_attrs ts)
+  | Xtype.Rep (u, o) -> Xtype.rep (hoist_attrs u) o
+  | Xtype.Empty | Xtype.Scalar _ | Xtype.Attr _ | Xtype.Elem _ | Xtype.Ref _ ->
+      t
+
+and element_ok ctx path (e : Xtype.elem) node =
+  let attrs = Xml.attributes node in
+  let kids = Xml.children node in
+  match scalar_kinds ctx.schema e.content with
+  | Some kinds ->
+      if attrs <> [] then begin
+        record ctx path "attributes not allowed on a scalar element";
+        false
+      end
+      else if
+        List.for_all (function Xml.Text _ -> true | Xml.Element _ -> false) kids
+      then
+        let text = Xml.text_content node in
+        if List.exists (fun k -> Xtype.scalar_ok k text) kinds then true
+        else begin
+          record ctx path (Printf.sprintf "text %S has the wrong scalar type" text);
+          false
+        end
+      else begin
+        record ctx path "element content where scalar text was expected";
+        false
+      end
+  | None ->
+      let order = attr_order ctx.schema e.content in
+      let undeclared =
+        List.filter (fun (n, _) -> not (List.mem n order)) attrs
+      in
+      if undeclared <> [] then begin
+        record ctx path
+          (Printf.sprintf "undeclared attribute @%s" (fst (List.hd undeclared)));
+        false
+      end
+      else
+        let attr_items =
+          List.filter_map
+            (fun n ->
+              Option.map (fun v -> IAttr (n, v)) (List.assoc_opt n attrs))
+            order
+        in
+        let kid_items =
+          List.filter_map
+            (function
+              | Xml.Text s when String.trim s = "" -> None
+              | node -> Some (INode node))
+            kids
+        in
+        match_items ctx path (hoist_attrs e.content) (attr_items @ kid_items)
+
+(* A type denoting a single element: Elem, Ref to one, or Choice. *)
+let rec element_types schema t =
+  match t with
+  | Xtype.Elem e -> [ e ]
+  | Xtype.Ref n -> (
+      match Xschema.find_opt schema n with
+      | Some body -> element_types schema body
+      | None -> [])
+  | Xtype.Choice ts -> List.concat_map (element_types schema) ts
+  | Xtype.Empty | Xtype.Scalar _ | Xtype.Attr _ | Xtype.Seq _ | Xtype.Rep _ ->
+      []
+
+let element schema t node =
+  let ctx = { schema; deepest = None } in
+  let tag = Option.value ~default:"#text" (Xml.tag node) in
+  let candidates =
+    List.filter
+      (fun (e : Xtype.elem) -> Label.matches e.label tag)
+      (element_types schema t)
+  in
+  if candidates = [] then
+    Error { path = [ tag ]; message = "no element type matches tag " ^ tag }
+  else if
+    List.exists (fun e -> element_ok ctx [ tag ] e node) candidates
+  then Ok ()
+  else
+    Error
+      (Option.value ctx.deepest
+         ~default:{ path = [ tag ]; message = "element does not match its type" })
+
+let document schema doc =
+  match Xschema.find_opt schema (Xschema.root schema) with
+  | None ->
+      Error { path = []; message = "root type not defined: " ^ Xschema.root schema }
+  | Some body -> element schema body doc
+
+let matches schema t nodes =
+  let ctx = { schema; deepest = None } in
+  match_items ctx [] t (List.map (fun n -> INode n) nodes)

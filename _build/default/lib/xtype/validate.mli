@@ -1,0 +1,26 @@
+(** Validation of XML documents against schemas.
+
+    Matching of element content against the regular-expression types
+    uses Brzozowski derivatives over the sequence of an element's items
+    (its attributes, in the order the type declares them, followed by
+    its children).  Scalar-only content ([title\[ String \]]) is checked
+    directly against the scalar kind. *)
+
+type error = { path : string list; message : string }
+(** [path] is the chain of element tags from the root to the node where
+    validation failed. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val document : Xschema.t -> Legodb_xml.Xml.t -> (unit, error) result
+(** Validate a whole document against the schema's root type. *)
+
+val element : Xschema.t -> Xtype.t -> Legodb_xml.Xml.t -> (unit, error) result
+(** [element s t node] validates a single element node against a type
+    that denotes exactly one element (an [Elem], a [Ref] to one, or a
+    [Choice] of such). *)
+
+val matches : Xschema.t -> Xtype.t -> Legodb_xml.Xml.t list -> bool
+(** [matches s t nodes] checks a sequence of sibling nodes against a
+    type, ignoring attributes.  Exposed for property-based testing of
+    the derivative matcher and of semantics-preserving rewritings. *)

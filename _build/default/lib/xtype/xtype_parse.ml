@@ -1,0 +1,359 @@
+exception Parse_error of { position : int; message : string }
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | TType  (* the keyword "type" *)
+  | TName of string
+  | TInt of int
+  | TStatHole  (* #? *)
+  | TEq
+  | TComma
+  | TPipe
+  | TLbracket
+  | TRbracket
+  | TLparen
+  | TRparen
+  | TLbrace
+  | TRbrace
+  | TLangle
+  | TRangle
+  | THash
+  | TAt
+  | TTilde
+  | TBang
+  | TQuestion
+  | TStar
+  | TPlus
+  | TEof
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let push pos t = out := (pos, t) :: !out in
+  let fail pos message = raise (Parse_error { position = pos; message }) in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' && !i + 1 < n && input.[!i + 1] = ':' then begin
+      let pos = !i in
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail pos "unterminated comment"
+        else if input.[!i] = ':' && input.[!i + 1] = ')' then i := !i + 2
+        else begin
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_name_start c then begin
+      let pos = !i in
+      let start = !i in
+      while !i < n && is_name_char input.[!i] do
+        incr i
+      done;
+      let name = String.sub input start (!i - start) in
+      push pos (if String.equal name "type" then TType else TName name)
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && input.[!i + 1] >= '0' && input.[!i + 1] <= '9')
+    then begin
+      let pos = !i in
+      let start = !i in
+      if c = '-' then incr i;
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do
+        incr i
+      done;
+      match int_of_string_opt (String.sub input start (!i - start)) with
+      | Some v -> push pos (TInt v)
+      | None -> fail pos "malformed number"
+    end
+    else begin
+      let pos = !i in
+      (match c with
+      | '=' -> push pos TEq
+      | ',' -> push pos TComma
+      | '|' -> push pos TPipe
+      | '[' -> push pos TLbracket
+      | ']' -> push pos TRbracket
+      | '(' -> push pos TLparen
+      | ')' -> push pos TRparen
+      | '{' -> push pos TLbrace
+      | '}' -> push pos TRbrace
+      | '<' -> push pos TLangle
+      | '>' -> push pos TRangle
+      | '#' ->
+          if !i + 1 < n && input.[!i + 1] = '?' then begin
+            incr i;
+            push pos TStatHole
+          end
+          else push pos THash
+      | '@' -> push pos TAt
+      | '~' -> push pos TTilde
+      | '!' -> push pos TBang
+      | '?' -> push pos TQuestion
+      | '*' -> push pos TStar
+      | '+' -> push pos TPlus
+      | _ -> fail pos (Printf.sprintf "unexpected character %C" c));
+      incr i
+    end
+  done;
+  push n TEof;
+  List.rev !out
+
+(* ---------------- parser ---------------- *)
+
+type state = { mutable toks : (int * token) list }
+
+let peek st = match st.toks with (_, t) :: _ -> t | [] -> TEof
+let pos st = match st.toks with (p, _) :: _ -> p | [] -> 0
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+let fail st message = raise (Parse_error { position = pos st; message })
+
+let expect st t msg = if peek st = t then advance st else fail st ("expected " ^ msg)
+
+let name st =
+  match peek st with
+  | TName n ->
+      advance st;
+      n
+  | TType ->
+      (* "type" is a keyword only at definition boundaries; elements and
+         attributes named "type" are common (the IMDB schema has both) *)
+      advance st;
+      "type"
+  | _ -> fail st "expected a name"
+
+(* <#a,#b,...> with #? holes; returns the slots in order *)
+let parse_stat_slots st =
+  expect st TLangle "<";
+  let slot () =
+    match peek st with
+    | THash -> (
+        advance st;
+        match peek st with
+        | TInt v ->
+            advance st;
+            Some v
+        | _ -> fail st "expected a number after #")
+    | TStatHole ->
+        advance st;
+        None
+    | _ -> fail st "expected #number or #?"
+  in
+  let rec more acc =
+    if peek st = TComma then begin
+      advance st;
+      more (slot () :: acc)
+    end
+    else List.rev acc
+  in
+  let slots = more [ slot () ] in
+  expect st TRangle ">";
+  slots
+
+let scalar_stats_of_slots st kind slots : Xtype.scalar_stats =
+  match (kind, slots) with
+  | Xtype.String_t, [ Some w ] ->
+      { Xtype.width = w; s_min = None; s_max = None; distinct = None }
+  | Xtype.String_t, [ Some w; d ] ->
+      { Xtype.width = w; s_min = None; s_max = None; distinct = d }
+  | Xtype.Integer_t, [ Some w ] ->
+      { Xtype.width = w; s_min = None; s_max = None; distinct = None }
+  | Xtype.Integer_t, [ Some w; mn; mx; d ] ->
+      { Xtype.width = w; s_min = mn; s_max = mx; distinct = d }
+  | _ -> fail st "malformed statistics annotation"
+
+let rec parse_union st =
+  let first = parse_seq st in
+  if peek st = TPipe then begin
+    let rec more acc =
+      if peek st = TPipe then begin
+        advance st;
+        more (parse_seq st :: acc)
+      end
+      else List.rev acc
+    in
+    Xtype.choice (more [ first ])
+  end
+  else first
+
+and parse_seq st =
+  let first = parse_postfix st in
+  if peek st = TComma then begin
+    let rec more acc =
+      if peek st = TComma then begin
+        advance st;
+        more (parse_postfix st :: acc)
+      end
+      else List.rev acc
+    in
+    Xtype.seq (more [ first ])
+  end
+  else first
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec occs t =
+    match peek st with
+    | TQuestion ->
+        advance st;
+        occs (Xtype.rep t Xtype.opt)
+    | TStar ->
+        advance st;
+        occs (Xtype.rep t Xtype.star)
+    | TPlus ->
+        advance st;
+        occs (Xtype.rep t Xtype.plus)
+    | TLbrace -> (
+        advance st;
+        let lo =
+          match peek st with
+          | TInt v ->
+              advance st;
+              v
+          | _ -> fail st "expected a lower bound"
+        in
+        expect st TComma ", in {m,n}";
+        let hi =
+          match peek st with
+          | TInt v ->
+              advance st;
+              Xtype.Bounded v
+          | TStar ->
+              advance st;
+              Xtype.Unbounded
+          | _ -> fail st "expected an upper bound or *"
+        in
+        expect st TRbrace "}";
+        occs (Xtype.rep t (Xtype.occ lo hi)))
+    | _ -> t
+  in
+  occs atom
+
+and parse_elem_tail st label =
+  (* after the label: [ content ] with an optional <#count> annotation *)
+  expect st TLbracket "[";
+  let content = parse_union st in
+  expect st TRbracket "]";
+  let ann =
+    if peek st = TLangle then begin
+      match parse_stat_slots st with
+      | [ Some c ] -> { Xtype.count = Some (float_of_int c); labels = [] }
+      | [ None ] -> Xtype.no_ann
+      | _ -> fail st "element annotations carry a single count"
+    end
+    else Xtype.no_ann
+  in
+  Xtype.elem ~ann label content
+
+and parse_atom st =
+  match peek st with
+  | TLparen -> (
+      advance st;
+      match peek st with
+      | TRparen ->
+          advance st;
+          Xtype.Empty
+      | _ ->
+          let t = parse_union st in
+          expect st TRparen ")";
+          t)
+  | TAt ->
+      advance st;
+      let n = name st in
+      expect st TLbracket "[ after an attribute name";
+      let content = parse_union st in
+      expect st TRbracket "]";
+      Xtype.attr n content
+  | TTilde ->
+      advance st;
+      let label =
+        if peek st = TBang then begin
+          advance st;
+          let rec names acc =
+            let n = name st in
+            if peek st = TComma then begin
+              advance st;
+              names (n :: acc)
+            end
+            else List.rev (n :: acc)
+          in
+          Label.Any_except (names [])
+        end
+        else Label.Any
+      in
+      parse_elem_tail st label
+  | TName "String" -> (
+      advance st;
+      match peek st with
+      | TLangle ->
+          let slots = parse_stat_slots st in
+          Xtype.Scalar
+            (Xtype.String_t, Some (scalar_stats_of_slots st Xtype.String_t slots))
+      | _ -> Xtype.string_)
+  | TName "Integer" -> (
+      advance st;
+      match peek st with
+      | TLangle ->
+          let slots = parse_stat_slots st in
+          Xtype.Scalar
+            ( Xtype.Integer_t,
+              Some (scalar_stats_of_slots st Xtype.Integer_t slots) )
+      | _ -> Xtype.integer)
+  | TName n -> (
+      advance st;
+      match peek st with
+      | TLbracket -> parse_elem_tail st (Label.Name n)
+      | _ -> Xtype.ref_ n)
+  | TType -> (
+      advance st;
+      match peek st with
+      | TLbracket -> parse_elem_tail st (Label.Name "type")
+      | _ -> Xtype.ref_ "type")
+  | _ -> fail st "expected a type expression"
+
+let parse_defs st =
+  let rec go acc =
+    match peek st with
+    | TType ->
+        advance st;
+        let n = name st in
+        expect st TEq "=";
+        let body = parse_union st in
+        go ({ Xschema.name = n; body } :: acc)
+    | TEof -> List.rev acc
+    | _ -> fail st "expected 'type' or end of input"
+  in
+  go []
+
+let type_of_string input =
+  let st = { toks = tokenize input } in
+  let t = parse_union st in
+  match peek st with
+  | TEof -> t
+  | _ -> fail st "trailing tokens after the type"
+
+let schema_of_string ?root input =
+  let st = { toks = tokenize input } in
+  match parse_defs st with
+  | [] -> raise (Parse_error { position = 0; message = "no type definitions" })
+  | defs ->
+      let root =
+        match root with Some r -> r | None -> (List.hd defs).Xschema.name
+      in
+      Xschema.make ~root defs
+
+let schema_of_file ?root path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  schema_of_string ?root s

@@ -1,0 +1,32 @@
+(** Parser for the XML Query Algebra type notation — the paper's own
+    schema syntax (Figure 2(b), Appendix B):
+
+    {v
+    type IMDB = imdb [ Show{0,*}, Director{0,*}, Actor{0,*} ]
+    type Show = show [ @type[ String ], title[ String ],
+                       Aka{1,10}, Review*, (Movie | TV) ]
+    type Aka  = aka[ String ]
+    v}
+
+    Accepted constructs: scalar types [String] and [Integer] (optionally
+    with statistics, [String<#50,#34798>]); elements [tag\[ t \]];
+    attributes [@name\[ t \]]; wildcards [~\[ t \]] and [~!a,b\[ t \]];
+    sequences [t1, t2]; unions [(t1 | t2)]; repetitions [t?], [t*],
+    [t+], [t{m,n}], [t{m,*}]; type references (capitalized or not — any
+    bare name); the empty sequence [()]; and [(: comments :)].
+
+    {!Xtype.pp} / {!Xschema.pp} output parses back to an equal schema
+    (and [pp_with_stats] round-trips the annotations). *)
+
+exception Parse_error of { position : int; message : string }
+
+val type_of_string : string -> Xtype.t
+(** Parse a single type expression.  @raise Parse_error *)
+
+val schema_of_string : ?root:string -> string -> Xschema.t
+(** Parse a sequence of [type N = ...] definitions.  The root is the
+    first definition unless [?root] overrides it.
+    @raise Parse_error on malformed input or if there are no
+    definitions. *)
+
+val schema_of_file : ?root:string -> string -> Xschema.t

@@ -1,0 +1,1 @@
+test/test_init.ml: Alcotest Imdb Init Lazy Legodb List Pschema Random Result Rewrite Space Test_util Validate Xschema Xtype

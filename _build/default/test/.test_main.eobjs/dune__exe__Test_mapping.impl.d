@@ -1,0 +1,1 @@
+test/test_mapping.ml: Alcotest Annotate Format Imdb Init Lazy Legodb List Mapping Navigate Pathstat Rewrite Rschema String Test_util Xschema Xtype

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Cost Estimate Executor Format Legodb List Logical Optimizer Physical Printf Rschema Rtype Storage Test_relational Test_util

@@ -1,0 +1,1 @@
+test/test_pschema.ml: Alcotest Imdb Init Legodb List Pschema Result Test_util Xschema Xtype

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Legodb List Printf Result Rschema Rtype Seq Sql Storage Test_util

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Float Format Imdb Init Lazy Legodb List Mapping Pschema Rschema Search Space Test_util Workload

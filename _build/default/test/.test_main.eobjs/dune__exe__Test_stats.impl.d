@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Annotate Collector Imdb Label Lazy Legodb List Option Pathstat Printf String Test_util Xml Xschema Xtype

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Annotate Float Format Imdb Init Label Lazy Legodb List Pathstat Pschema Random Result Rewrite Space String Test_util Validate Xschema Xtype

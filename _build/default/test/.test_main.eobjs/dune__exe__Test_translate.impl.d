@@ -1,0 +1,1 @@
+test/test_translate.ml: Alcotest Annotate Imdb Init Lazy Legodb List Logical Mapping Pathstat Rewrite Rtype String Test_util Xq_ast Xq_parse Xq_translate Xschema Xtype

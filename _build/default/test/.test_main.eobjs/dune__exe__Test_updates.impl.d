@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Float Imdb Init Lazy Legodb List Logical Mapping Optimizer Result Search Test_util Workload Xq_ast Xq_parse Xq_translate

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Annotate Array Imdb Label Legodb List Mapping Printf Random String Xml Xschema Xtype

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Imdb Label Lazy Legodb List Random Result Test_util Validate Xml Xschema Xtype

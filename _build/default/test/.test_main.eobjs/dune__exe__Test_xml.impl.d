@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Lazy Legodb List Option String Test_util Xml Xml_parse

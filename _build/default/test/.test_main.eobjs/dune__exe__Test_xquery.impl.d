@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Imdb Legodb List Result String Test_util Workload Xq_ast Xq_eval Xq_parse

@@ -1,0 +1,1 @@
+test/test_xschema.ml: Alcotest Imdb Legodb List Result Test_util Xschema Xtype

@@ -1,0 +1,1 @@
+test/test_xsd.ml: Alcotest Annotate Collector Imdb Init Lazy Legodb List Publish Random Result Search Shred Test_util Validate Workload Xml Xschema Xsd_import Xtype

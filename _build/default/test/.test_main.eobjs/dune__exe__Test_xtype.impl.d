@@ -1,0 +1,1 @@
+test/test_xtype.ml: Alcotest Format Label Legodb List String Test_util Xtype

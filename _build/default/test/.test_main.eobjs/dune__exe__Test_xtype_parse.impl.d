@@ -1,0 +1,1 @@
+test/test_xtype_parse.ml: Alcotest Format Imdb Init Label Lazy Legodb List Option Result Rewrite Test_util Xschema Xtype Xtype_parse

@@ -1,0 +1,100 @@
+open Legodb
+open Test_util
+
+let nested_elem_count schema =
+  List.fold_left
+    (fun n (d : Xschema.defn) ->
+      n
+      + List.length
+          (List.filter
+             (fun (loc, t) ->
+               loc <> [] && match t with Xtype.Elem _ -> true | _ -> false)
+             (Xtype.locations d.body)))
+    0 (Xschema.defs schema)
+
+let suite =
+  [
+    case "normalize produces a p-schema" (fun () ->
+        let ps0 = Init.normalize Imdb.Schema.schema in
+        check_bool "stratified" true (Pschema.is_pschema ps0));
+    case "normalize preserves the language" (fun () ->
+        let ps0 = Init.normalize Imdb.Schema.schema in
+        let rng = Random.State.make [| 3 |] in
+        for _ = 1 to 10 do
+          let doc = doc_of_schema ~rng Imdb.Schema.schema in
+          check_bool "doc valid under ps0" true
+            (Result.is_ok (Validate.document ps0 doc))
+        done;
+        let rng = Random.State.make [| 5 |] in
+        for _ = 1 to 10 do
+          let doc = doc_of_schema ~rng ps0 in
+          check_bool "ps0 doc valid under original" true
+            (Result.is_ok (Validate.document Imdb.Schema.schema doc))
+        done);
+    case "normalize is idempotent" (fun () ->
+        let ps0 = Init.normalize Imdb.Schema.schema in
+        check_bool "fixed point" true (Xschema.equal ps0 (Init.normalize ps0)));
+    case "normalize keeps statistics" (fun () ->
+        let ps0 = Init.normalize (Lazy.force annotated_imdb) in
+        match Rewrite.card_of_def ps0 "Show" with
+        | Some c -> check_bool "show card" true (c = 34798.)
+        | None -> Alcotest.fail "lost the Show cardinality");
+    case "all_outlined leaves no nested elements" (fun () ->
+        let s = Init.all_outlined Imdb.Schema.schema in
+        check_bool "p-schema" true (Pschema.is_pschema s);
+        check_int "no nested elements" 0 (nested_elem_count s));
+    case "all_outlined is bigger than ps0" (fun () ->
+        let ps0 = Init.normalize Imdb.Schema.schema in
+        let out = Init.all_outlined Imdb.Schema.schema in
+        check_bool "more types" true
+          (List.length (Xschema.reachable out) > List.length (Xschema.reachable ps0)));
+    case "all_inlined has no inlinable references" (fun () ->
+        let s = Init.all_inlined Imdb.Schema.schema in
+        check_bool "p-schema" true (Pschema.is_pschema s);
+        let steps = Space.applicable ~kinds:[ Space.K_inline ] s in
+        check_int "no inline steps" 0 (List.length steps));
+    case "all_inlined converts unions to options by default" (fun () ->
+        let s = Init.all_inlined Imdb.Schema.schema in
+        let has_choice =
+          List.exists
+            (fun (d : Xschema.defn) ->
+              List.exists
+                (fun (_, t) ->
+                  match t with
+                  | Xtype.Choice ts ->
+                      not (List.for_all (function Xtype.Scalar _ -> true | _ -> false) ts)
+                  | _ -> false)
+                (Xtype.locations d.body))
+            (Xschema.defs s)
+        in
+        check_bool "no structural unions left" false has_choice);
+    case "all_inlined with unions kept" (fun () ->
+        let s = Init.all_inlined ~union_to_options:false Imdb.Schema.schema in
+        check_bool "p-schema" true (Pschema.is_pschema s);
+        let has_choice =
+          List.exists
+            (fun (d : Xschema.defn) ->
+              match Xschema.find s d.name with
+              | Xtype.Elem _ | _ ->
+                  List.exists
+                    (fun (_, t) -> match t with Xtype.Choice _ -> true | _ -> false)
+                    (Xtype.locations d.body))
+            (Xschema.defs s)
+        in
+        check_bool "union survives" true has_choice);
+    case "all_inlined docs widen but contain the original language" (fun () ->
+        let s = Init.all_inlined Imdb.Schema.schema in
+        let rng = Random.State.make [| 17 |] in
+        for _ = 1 to 10 do
+          let doc = doc_of_schema ~rng Imdb.Schema.schema in
+          check_bool "original docs valid" true
+            (Result.is_ok (Validate.document s doc))
+        done);
+    case "all_inlined on the books schema keeps multi-valued types" (fun () ->
+        let s = Init.all_inlined books_schema in
+        (* Book and Author are multi-valued, so they stay; the optional
+           blurb element is inlined as a nullable column *)
+        check_bool "Book survives" true (Xschema.mem s "Book");
+        check_bool "Author survives" true (Xschema.mem s "Author");
+        check_int "exactly three types" 3 (List.length (Xschema.reachable s)));
+  ]

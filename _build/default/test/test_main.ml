@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "legodb"
+    [
+      ("xml", Test_xml.suite);
+      ("xtype", Test_xtype.suite);
+      ("xschema", Test_xschema.suite);
+      ("xtype-parse", Test_xtype_parse.suite);
+      ("xsd", Test_xsd.suite);
+      ("validate", Test_validate.suite);
+      ("stats", Test_stats.suite);
+      ("pschema", Test_pschema.suite);
+      ("transform", Test_transform.suite);
+      ("init", Test_init.suite);
+      ("relational", Test_relational.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("xquery", Test_xquery.suite);
+      ("mapping", Test_mapping.suite);
+      ("translate", Test_translate.suite);
+      ("shred", Test_shred.suite);
+      ("shred-ordered", Test_shred.ordered_suite);
+      ("search", Test_search.suite);
+      ("updates", Test_updates.suite);
+      ("beam", Test_search.beam_suite);
+      ("integration", Test_integration.suite);
+      ("calibration", Test_integration.calibration_suite);
+      ("all-queries", Test_integration.all_queries_suite);
+      ("properties", Test_props.suite);
+      ("edge", Test_edge.suite);
+      ("properties-extra", Test_props.extra);
+    ]

@@ -1,0 +1,182 @@
+open Legodb
+open Test_util
+
+let inlined = lazy (Init.all_inlined (Lazy.force annotated_imdb))
+let m_inlined = lazy (mapping_of (Lazy.force inlined))
+
+let table m ty = Rschema.table m.Mapping.catalog ty
+
+let suite =
+  [
+    case "one table per concrete type" (fun () ->
+        let m = Lazy.force m_inlined in
+        let names =
+          List.map (fun (t : Rschema.table) -> t.Rschema.tname) m.Mapping.catalog.tables
+        in
+        List.iter
+          (fun expected ->
+            check_bool expected true (List.mem expected names))
+          [ "IMDB"; "Show"; "Aka"; "Reviews"; "Episodes"; "Director"; "Directed";
+            "Actor"; "Played"; "Award" ]);
+    case "non-pschema is rejected" (fun () ->
+        match Mapping.of_pschema Imdb.Schema.schema with
+        | Error es -> check_bool "errors" true (es <> [])
+        | Ok _ -> Alcotest.fail "expected failure");
+    case "keys, fks and indexes" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Aka" in
+        check_string "key" "Aka_id" t.Rschema.key;
+        (match t.Rschema.fks with
+        | [ ("parent_Show", "Show") ] -> ()
+        | _ -> Alcotest.fail "bad fks");
+        check_bool "key indexed" true (Rschema.has_index t "Aka_id");
+        check_bool "fk indexed" true (Rschema.has_index t "parent_Show"));
+    case "inlined union becomes nullable columns" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Show" in
+        let bo = Rschema.column t "box_office" in
+        check_bool "nullable" true bo.Rschema.nullable;
+        check_bool "null fraction" true
+          (abs_float (bo.Rschema.stats.null_frac -. (1. -. (7000. /. 34798.))) < 0.01);
+        let title = Rschema.column t "title" in
+        check_bool "title not nullable" false title.Rschema.nullable);
+    case "statistics translated" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Show" in
+        check_bool "card" true (t.Rschema.card = 34798.);
+        let year = Rschema.column t "year" in
+        check_bool "min" true (year.Rschema.stats.v_min = Some 1800);
+        check_bool "distinct" true (year.Rschema.stats.distinct = 300.);
+        let title = Rschema.column t "title" in
+        check_bool "width" true (title.Rschema.stats.avg_width = 50.));
+    case "nested inline elements use path-joined names" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Actor" in
+        check_bool "biography_birthday" true
+          (Rschema.find_column t "biography_birthday" <> None));
+    case "scalar-rooted type uses the root tag column" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Aka" in
+        check_bool "aka column" true (Rschema.find_column t "aka" <> None));
+    case "wildcard gets tag and value columns" (fun () ->
+        let m = Lazy.force m_inlined in
+        let t = table m "Reviews" in
+        check_bool "tilde" true (Rschema.find_column t "tilde" <> None);
+        check_bool "value (root tag rule)" true
+          (Rschema.find_column t "reviews" <> None));
+    case "transparent types are collapsed" (fun () ->
+        let s = Lazy.force inlined in
+        (* distribute the (movie|tv) optional pair?  use section2 with a
+           real union instead *)
+        ignore s;
+        let s2 = Annotate.schema Pathstat.empty Imdb.Schema.section2 in
+        let loc =
+          let body = Xschema.find s2 "Show" in
+          match
+            List.find_opt
+              (fun (_, t) -> match t with Xtype.Choice _ -> true | _ -> false)
+              (Xtype.locations body)
+          with
+          | Some (l, _) -> l
+          | None -> Alcotest.fail "no choice"
+        in
+        let dist = Rewrite.distribute_union s2 ~tname:"Show" ~loc in
+        let m = mapping_of dist in
+        check_bool "Show is transparent" true (List.mem "Show" m.Mapping.transparent);
+        check_bool "no Show table" true
+          (Rschema.find_table m.Mapping.catalog "Show" = None);
+        (* the parts attach directly to IMDB *)
+        let p1 = table m "Show_Part1" in
+        (match p1.Rschema.fks with
+        | [ ("parent_IMDB", "IMDB") ] -> ()
+        | _ -> Alcotest.fail "parts should reference IMDB");
+        (* the shared Aka table now has two nullable parents *)
+        let aka = table m "Aka" in
+        check_int "two fks" 2 (List.length aka.Rschema.fks));
+    case "navigate: inline column" (fun () ->
+        let m = Lazy.force m_inlined in
+        match Navigate.navigate m { Navigate.ty = "Show"; prefix = [] } "title" with
+        | [ Navigate.F_column { hops = []; ty = "Show"; column = "title" } ] -> ()
+        | fs ->
+            Alcotest.failf "unexpected: %s"
+              (String.concat "; " (List.map (Format.asprintf "%a" Navigate.pp_found) fs)));
+    case "navigate: outlined child" (fun () ->
+        let m = Lazy.force m_inlined in
+        match Navigate.navigate m { Navigate.ty = "Show"; prefix = [] } "aka" with
+        | [ Navigate.F_column { hops = [ "Aka" ]; ty = "Aka"; column = "aka" } ] -> ()
+        | _ -> Alcotest.fail "expected the Aka chain");
+    case "navigate: nested inline element" (fun () ->
+        let m = Lazy.force m_inlined in
+        match Navigate.navigate m { Navigate.ty = "Actor"; prefix = [] } "biography" with
+        | [ Navigate.F_elem { hops = []; place = { ty = "Actor"; prefix = [ "biography" ] } } ] ->
+            ()
+        | _ -> Alcotest.fail "expected an inline element");
+    case "navigate: wildcard step" (fun () ->
+        let m = Lazy.force m_inlined in
+        match Navigate.navigate m { Navigate.ty = "Show"; prefix = [] } "reviews" with
+        | [ Navigate.F_elem { hops = [ "Reviews" ]; place } ] -> (
+            match Navigate.navigate m place "nyt" with
+            | [ Navigate.F_wild { ty = "Reviews"; tilde = "tilde"; data = "reviews"; tag = "nyt"; _ } ] ->
+                ()
+            | _ -> Alcotest.fail "expected a wildcard hit")
+        | _ -> Alcotest.fail "expected the Reviews chain");
+    case "navigate: attribute step" (fun () ->
+        let m = mapping_of (Init.all_inlined Imdb.Schema.section2) in
+        match Navigate.navigate m { Navigate.ty = "Show"; prefix = [] } "type" with
+        | [ Navigate.F_column { column = "type"; _ } ] -> ()
+        | _ -> Alcotest.fail "expected the attribute column");
+    case "navigate_path chains hops" (fun () ->
+        let m = Lazy.force m_inlined in
+        match
+          Navigate.navigate_path m
+            { Navigate.ty = "IMDB"; prefix = [] }
+            [ "actor"; "played"; "title" ]
+        with
+        | [ Navigate.F_column { hops = [ "Actor"; "Played" ]; column = "title"; _ } ] -> ()
+        | _ -> Alcotest.fail "expected a two-hop chain");
+    case "enter_root matches the document root" (fun () ->
+        let m = Lazy.force m_inlined in
+        (match Navigate.enter_root m "imdb" with
+        | [ Navigate.F_elem { hops = [ "IMDB" ]; _ } ] -> ()
+        | _ -> Alcotest.fail "expected the IMDB table");
+        check_int "no match" 0 (List.length (Navigate.enter_root m "nope")));
+    case "descendant_tables for publish" (fun () ->
+        let m = Lazy.force m_inlined in
+        let chains =
+          Navigate.descendant_tables m { Navigate.ty = "Show"; prefix = [] }
+        in
+        let lasts = List.map (fun hops -> List.nth hops (List.length hops - 1)) chains in
+        List.iter
+          (fun t -> check_bool t true (List.mem t lasts))
+          [ "Aka"; "Reviews"; "Episodes" ];
+        check_int "exactly three" 3 (List.length chains));
+    case "descendant_tables stops on recursion" (fun () ->
+        let s =
+          Xschema.make ~root:"R"
+            [
+              {
+                Xschema.name = "R";
+                body = Xtype.named_elem "r" (Xtype.rep (Xtype.ref_ "R") Xtype.star);
+              };
+            ]
+        in
+        let m = mapping_of s in
+        let chains = Navigate.descendant_tables m { Navigate.ty = "R"; prefix = [] } in
+        check_int "one level" 1 (List.length chains));
+    case "partitioned binding resolves to both parts" (fun () ->
+        let s2 = Annotate.schema Pathstat.empty Imdb.Schema.section2 in
+        let loc =
+          match
+            List.find_opt
+              (fun (_, t) -> match t with Xtype.Choice _ -> true | _ -> false)
+              (Xtype.locations (Xschema.find s2 "Show"))
+          with
+          | Some (l, _) -> l
+          | None -> Alcotest.fail "no choice"
+        in
+        let dist = Rewrite.distribute_union s2 ~tname:"Show" ~loc in
+        let m = mapping_of dist in
+        check_int "two targets" 2
+          (List.length
+             (Navigate.navigate m { Navigate.ty = "IMDB"; prefix = [] } "show")));
+  ]

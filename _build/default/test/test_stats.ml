@@ -1,0 +1,150 @@
+open Legodb
+open Test_util
+
+(* every element of a definition body, keyed by its tag path (wildcard
+   steps spelled "TILDE") *)
+let find_elem schema ty path =
+  let rec walk prefix t acc =
+    match t with
+    | Xtype.Elem e ->
+        let step =
+          match e.Xtype.label with
+          | Label.Name n -> n
+          | Label.Any | Label.Any_except _ -> "TILDE"
+        in
+        let prefix = prefix @ [ step ] in
+        (prefix, e) :: walk prefix e.Xtype.content acc
+    | Xtype.Seq ts | Xtype.Choice ts ->
+        List.fold_left (fun acc u -> walk prefix u acc) acc ts
+    | Xtype.Rep (u, _) | Xtype.Attr (_, u) -> walk prefix u acc
+    | Xtype.Empty | Xtype.Scalar _ | Xtype.Ref _ -> acc
+  in
+  match List.assoc_opt path (walk [] (Xschema.find schema ty) []) with
+  | Some e -> e
+  | None -> Alcotest.failf "no element %s in %s" (String.concat "/" path) ty
+
+let count_of e = Option.get e.Xtype.ann.count
+
+let suite =
+  [
+    case "pathstat add and find" (fun () ->
+        let s =
+          Pathstat.of_list
+            [ ([ "a"; "b" ], Pathstat.STcnt 5); ([ "a"; "b" ], Pathstat.STsize 10) ]
+        in
+        check_int "count" 5 (Option.get (Pathstat.count s [ "a"; "b" ]));
+        check_int "size" 10 (Option.get (Pathstat.size s [ "a"; "b" ]));
+        check_bool "missing" true (Pathstat.find s [ "a" ] = None));
+    case "pathstat children" (fun () ->
+        let s =
+          Pathstat.of_list
+            [
+              ([ "a"; "b" ], Pathstat.STcnt 1);
+              ([ "a"; "c" ], Pathstat.STcnt 2);
+              ([ "a"; "b"; "d" ], Pathstat.STcnt 3);
+            ]
+        in
+        check_int "two children" 2 (List.length (Pathstat.children s [ "a" ])));
+    case "pathstat merge adds counts, widens bases" (fun () ->
+        let a =
+          Pathstat.of_list
+            [ ([ "x" ], Pathstat.STcnt 5); ([ "x" ], Pathstat.STbase (1, 10, 5)) ]
+        in
+        let b =
+          Pathstat.of_list
+            [ ([ "x" ], Pathstat.STcnt 7); ([ "x" ], Pathstat.STbase (0, 20, 7)) ]
+        in
+        let m = Pathstat.merge a b in
+        check_int "count" 12 (Option.get (Pathstat.count m [ "x" ]));
+        match (Pathstat.find m [ "x" ] : Pathstat.entry option) with
+        | Some { base = Some (0, 20, 7); _ } -> ()
+        | _ -> Alcotest.fail "base not widened");
+    case "collector counts paths" (fun () ->
+        let s = Collector.collect books_doc in
+        check_int "books" 2 (Option.get (Pathstat.count s [ "store"; "book" ]));
+        check_int "authors" 4
+          (Option.get (Pathstat.count s [ "store"; "book"; "author" ]));
+        check_int "isbn attr" 2
+          (Option.get (Pathstat.count s [ "store"; "book"; "isbn" ])));
+    case "collector integer stats" (fun () ->
+        let s = Collector.collect books_doc in
+        match Pathstat.find s [ "store"; "book"; "price" ] with
+        | Some { Pathstat.base = Some (90, 120, 2); _ } -> ()
+        | Some e ->
+            Alcotest.failf "unexpected entry: base=%s"
+              (match e.Pathstat.base with
+              | Some (a, b, c) -> Printf.sprintf "(%d,%d,%d)" a b c
+              | None -> "none")
+        | None -> Alcotest.fail "no entry");
+    case "collector string distinct and width" (fun () ->
+        let s = Collector.collect books_doc in
+        match Pathstat.find s [ "store"; "book"; "author"; "name" ] with
+        | Some { Pathstat.distinct = Some 4; size = Some w; _ } ->
+            check_bool "width sane" true (w > 4 && w < 20)
+        | _ -> Alcotest.fail "bad entry");
+    case "collector distinct cap saturates" (fun () ->
+        let doc =
+          Xml.elem "r" (List.init 10 (fun i -> Xml.leaf "x" (string_of_int i)))
+        in
+        let s = Collector.collect ~distinct_cap:3 doc in
+        match Pathstat.find s [ "r"; "x" ] with
+        | Some { Pathstat.base = Some (_, _, 3); _ } -> ()
+        | _ -> Alcotest.fail "expected saturation at 3");
+    case "annotate: show count from appendix" (fun () ->
+        let s = Lazy.force annotated_imdb in
+        let show = find_elem s "Show" [ "show" ] in
+        check_bool "34798" true (count_of show = 34798.));
+    case "annotate: nested counts" (fun () ->
+        let s = Lazy.force annotated_imdb in
+        let aka = find_elem s "Show" [ "show"; "aka" ] in
+        check_bool "13641" true (count_of aka = 13641.);
+        let bo = find_elem s "Show" [ "show"; "box_office" ] in
+        check_bool "7000" true (count_of bo = 7000.));
+    case "annotate: scalar stats land on scalars" (fun () ->
+        let s = Lazy.force annotated_imdb in
+        let title = find_elem s "Show" [ "show"; "title" ] in
+        match title.Xtype.content with
+        | Xtype.Scalar (Xtype.String_t, Some st) ->
+            check_int "width" 50 st.Xtype.width;
+            check_int "distinct" 34798 (Option.get st.Xtype.distinct)
+        | _ -> Alcotest.fail "title not annotated");
+    case "annotate: integer min/max" (fun () ->
+        let s = Lazy.force annotated_imdb in
+        let year = find_elem s "Show" [ "show"; "year" ] in
+        match year.Xtype.content with
+        | Xtype.Scalar (Xtype.Integer_t, Some st) ->
+            check_int "min" 1800 (Option.get st.Xtype.s_min);
+            check_int "max" 2100 (Option.get st.Xtype.s_max)
+        | _ -> Alcotest.fail "year not annotated");
+    case "annotate: wildcard via TILDE path" (fun () ->
+        let s = Lazy.force annotated_imdb in
+        let w = find_elem s "Show" [ "show"; "reviews"; "TILDE" ] in
+        check_bool "11250" true (count_of w = 11250.));
+    case "annotate: wildcard labels from concrete children" (fun () ->
+        let stats =
+          Imdb.Stats.with_review_sources Imdb.Stats.full ~total:10000
+            [ ("nyt", 0.25); ("suntimes", 0.75) ]
+        in
+        let s = Annotate.schema stats Imdb.Schema.schema in
+        let w = find_elem s "Show" [ "show"; "reviews"; "TILDE" ] in
+        check_int "labels" 2 (List.length w.Xtype.ann.labels);
+        check_bool "nyt count" true
+          (List.assoc "nyt" w.Xtype.ann.labels = 2500.));
+    case "annotate from collected stats is consistent" (fun () ->
+        let doc = Lazy.force small_imdb_doc in
+        let s = Annotate.schema (Collector.collect doc) Imdb.Schema.schema in
+        let show = find_elem s "Show" [ "show" ] in
+        let expected = List.length (Xml.select [ "imdb"; "show" ] doc) in
+        check_bool "matches document" true
+          (count_of show = float_of_int expected));
+    case "strip removes annotations" (fun () ->
+        let s = Annotate.strip (Lazy.force annotated_imdb) in
+        check_bool "equal to raw" true (Xschema.equal s Imdb.Schema.schema);
+        let show = find_elem s "Show" [ "show" ] in
+        check_bool "no count" true (show.Xtype.ann.count = None));
+    case "contexts computed per type" (fun () ->
+        let ctxs = Annotate.contexts Imdb.Schema.schema in
+        match List.assoc_opt "Show" ctxs with
+        | Some [ [ "imdb" ] ] -> ()
+        | _ -> Alcotest.fail "Show context should be [imdb]");
+  ]

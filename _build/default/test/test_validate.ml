@@ -1,0 +1,183 @@
+open Legodb
+open Test_util
+
+let ok schema doc = Result.is_ok (Validate.document schema doc)
+
+let any_element_schema =
+  (* the paper's AnyElement type for untyped documents *)
+  Xschema.make ~root:"AnyElement"
+    [
+      {
+        Xschema.name = "AnyElement";
+        body =
+          Xtype.elem Label.Any
+            (Xtype.rep
+               (Xtype.choice [ Xtype.ref_ "AnyElement"; Xtype.ref_ "AnyScalar" ])
+               Xtype.star);
+      };
+      {
+        Xschema.name = "AnyScalar";
+        body = Xtype.choice [ Xtype.integer; Xtype.string_ ];
+      };
+    ]
+
+let suite =
+  [
+    case "books document validates" (fun () ->
+        check_bool "valid" true (ok books_schema books_doc));
+    case "missing required element" (fun () ->
+        let doc =
+          Xml.elem "store"
+            [ Xml.elem "book" ~attrs:[ ("isbn", "1") ] [ Xml.leaf "title" "t" ] ]
+        in
+        check_bool "invalid" false (ok books_schema doc));
+    case "wrong element order" (fun () ->
+        let doc =
+          Xml.elem "store"
+            [
+              Xml.elem "book"
+                ~attrs:[ ("isbn", "1") ]
+                [
+                  Xml.leaf "price" "5";
+                  Xml.leaf "title" "t";
+                  Xml.elem "author" [ Xml.leaf "name" "n" ];
+                ];
+            ]
+        in
+        check_bool "invalid" false (ok books_schema doc));
+    case "bad scalar kind" (fun () ->
+        let doc =
+          Xml.elem "store"
+            [
+              Xml.elem "book"
+                ~attrs:[ ("isbn", "1") ]
+                [
+                  Xml.leaf "title" "t";
+                  Xml.leaf "price" "not-a-number";
+                  Xml.elem "author" [ Xml.leaf "name" "n" ];
+                ];
+            ]
+        in
+        check_bool "invalid" false (ok books_schema doc));
+    case "undeclared attribute" (fun () ->
+        let doc =
+          Xml.elem "store"
+            [
+              Xml.elem "book"
+                ~attrs:[ ("isbn", "1"); ("bogus", "x") ]
+                [
+                  Xml.leaf "title" "t";
+                  Xml.leaf "price" "5";
+                  Xml.elem "author" [ Xml.leaf "name" "n" ];
+                ];
+            ]
+        in
+        check_bool "invalid" false (ok books_schema doc));
+    case "unknown element rejected" (fun () ->
+        let doc = Xml.elem "store" [ Xml.elem "pamphlet" [] ] in
+        check_bool "invalid" false (ok books_schema doc));
+    case "error reports deep path" (fun () ->
+        let doc =
+          Xml.elem "store"
+            [
+              Xml.elem "book"
+                ~attrs:[ ("isbn", "1") ]
+                [
+                  Xml.leaf "title" "t";
+                  Xml.leaf "price" "x";
+                  Xml.elem "author" [ Xml.leaf "name" "n" ];
+                ];
+            ]
+        in
+        match Validate.document books_schema doc with
+        | Error e -> check_bool "path depth" true (List.length e.Validate.path >= 2)
+        | Ok () -> Alcotest.fail "expected failure");
+    case "occurrence bounds enforced" (fun () ->
+        let schema =
+          Xschema.make ~root:"R"
+            [
+              {
+                Xschema.name = "R";
+                body =
+                  Xtype.named_elem "r"
+                    (Xtype.rep (Xtype.named_elem "x" Xtype.string_)
+                       (Xtype.occ 1 (Xtype.Bounded 2)));
+              };
+            ]
+        in
+        let doc n = Xml.elem "r" (List.init n (fun i -> Xml.leaf "x" (string_of_int i))) in
+        check_bool "zero" false (ok schema (doc 0));
+        check_bool "one" true (ok schema (doc 1));
+        check_bool "two" true (ok schema (doc 2));
+        check_bool "three" false (ok schema (doc 3)));
+    case "union branches" (fun () ->
+        check_bool "imdb generated doc" true
+          (ok Imdb.Schema.schema (Lazy.force small_imdb_doc)));
+    case "wildcard accepts any tag" (fun () ->
+        let schema =
+          Xschema.make ~root:"R"
+            [
+              {
+                Xschema.name = "R";
+                body = Xtype.named_elem "r" (Xtype.elem Label.Any Xtype.string_);
+              };
+            ]
+        in
+        check_bool "any" true (ok schema (Xml.elem "r" [ Xml.leaf "whatever" "x" ])));
+    case "wildcard exclusion" (fun () ->
+        let schema =
+          Xschema.make ~root:"R"
+            [
+              {
+                Xschema.name = "R";
+                body =
+                  Xtype.named_elem "r"
+                    (Xtype.elem (Label.Any_except [ "nyt" ]) Xtype.string_);
+              };
+            ]
+        in
+        check_bool "other ok" true (ok schema (Xml.elem "r" [ Xml.leaf "suntimes" "x" ]));
+        check_bool "excluded" false (ok schema (Xml.elem "r" [ Xml.leaf "nyt" "x" ])));
+    case "recursive AnyElement" (fun () ->
+        let doc =
+          Xml.elem "anything"
+            [ Xml.elem "nested" [ Xml.text "42"; Xml.elem "deeper" [] ] ]
+        in
+        check_bool "valid untyped" true (ok any_element_schema doc));
+    case "matches sequences" (fun () ->
+        let t =
+          Xtype.seq
+            [
+              Xtype.named_elem "a" Xtype.string_;
+              Xtype.rep (Xtype.named_elem "b" Xtype.string_) Xtype.star;
+            ]
+        in
+        let a = Xml.leaf "a" "x" and b = Xml.leaf "b" "y" in
+        let s = books_schema in
+        check_bool "a" true (Validate.matches s t [ a ]);
+        check_bool "a b b" true (Validate.matches s t [ a; b; b ]);
+        check_bool "b a" false (Validate.matches s t [ b; a ]);
+        check_bool "empty" false (Validate.matches s t []));
+    case "ambiguous choice backtracks" (fun () ->
+        let t =
+          Xtype.choice
+            [
+              Xtype.seq [ Xtype.named_elem "a" Xtype.string_; Xtype.named_elem "b" Xtype.string_ ];
+              Xtype.seq [ Xtype.named_elem "a" Xtype.string_; Xtype.named_elem "c" Xtype.string_ ];
+            ]
+        in
+        let a = Xml.leaf "a" "x" in
+        check_bool "a c" true (Validate.matches books_schema t [ a; Xml.leaf "c" "y" ]));
+    case "random docs from schema validate" (fun () ->
+        let rng = Random.State.make [| 11 |] in
+        for _ = 1 to 20 do
+          let doc = doc_of_schema ~rng books_schema in
+          check_bool "valid" true (ok books_schema doc)
+        done);
+    case "random imdb-schema docs validate" (fun () ->
+        let rng = Random.State.make [| 13 |] in
+        for _ = 1 to 5 do
+          let doc = doc_of_schema ~rng Imdb.Schema.schema in
+          check_bool "valid" true (ok Imdb.Schema.schema doc)
+        done);
+  ]

@@ -1,0 +1,157 @@
+open Legodb
+open Test_util
+
+let imdb_xsd = lazy (Xsd_import.schema_of_file "../data/imdb.xsd")
+
+let mini_xsd =
+  {|<schema xmlns="http://www.w3.org/2001/XMLSchema">
+      <element name="library" type="Library"/>
+      <complexType name="Library">
+        <sequence>
+          <element name="book" type="Book" minOccurs="1" maxOccurs="3"/>
+          <element name="motto" type="string" minOccurs="0"/>
+        </sequence>
+      </complexType>
+      <complexType name="Book">
+        <sequence>
+          <element name="title" type="string"/>
+          <element name="pages" type="integer"/>
+          <attribute name="isbn" type="string"/>
+        </sequence>
+      </complexType>
+    </schema>|}
+
+let suite =
+  [
+    case "mini schema imports" (fun () ->
+        let s = Xsd_import.schema_of_string mini_xsd in
+        check_string "root" "Library" (Xschema.root s);
+        check_bool "book def" true (Xschema.mem s "Book");
+        check_bool "well-formed" true (Result.is_ok (Xschema.check s)));
+    case "occurs bounds imported" (fun () ->
+        let s = Xsd_import.schema_of_string mini_xsd in
+        match Xschema.find s "Library" with
+        | Xtype.Elem { content = Xtype.Seq (Xtype.Rep (Xtype.Ref "Book", o) :: _); _ }
+          ->
+            check_int "lo" 1 o.Xtype.lo;
+            check_bool "hi 3" true (o.Xtype.hi = Xtype.Bounded 3)
+        | t -> Alcotest.failf "unexpected body %s" (Xtype.to_string t));
+    case "scalar kinds mapped" (fun () ->
+        let s = Xsd_import.schema_of_string mini_xsd in
+        let doc =
+          Xml.elem "library"
+            [
+              Xml.elem "book"
+                [ Xml.leaf "title" "t"; Xml.leaf "pages" "not a number" ];
+            ]
+        in
+        check_bool "integer enforced" false
+          (Result.is_ok (Validate.document s doc)));
+    case "valid document accepted" (fun () ->
+        let s = Xsd_import.schema_of_string mini_xsd in
+        let doc =
+          Xml.elem "library"
+            [
+              Xml.elem "book"
+                ~attrs:[ ("isbn", "x") ]
+                [ Xml.leaf "title" "t"; Xml.leaf "pages" "120" ];
+              Xml.leaf "motto" "read more";
+            ]
+        in
+        check_bool "valid" true (Result.is_ok (Validate.document s doc)));
+    case "shared complexType under two tags gets two defs" (fun () ->
+        let s =
+          Xsd_import.schema_of_string
+            {|<schema>
+                <element name="r" type="R"/>
+                <complexType name="R">
+                  <sequence>
+                    <element name="home" type="Addr"/>
+                    <element name="work" type="Addr"/>
+                  </sequence>
+                </complexType>
+                <complexType name="Addr">
+                  <sequence><element name="city" type="string"/></sequence>
+                </complexType>
+              </schema>|}
+        in
+        check_bool "Addr" true (Xschema.mem s "Addr");
+        check_bool "Addr'" true (Xschema.mem s "Addr'");
+        let doc =
+          Xml.elem "r"
+            [
+              Xml.elem "home" [ Xml.leaf "city" "a" ];
+              Xml.elem "work" [ Xml.leaf "city" "b" ];
+            ]
+        in
+        check_bool "valid" true (Result.is_ok (Validate.document s doc)));
+    case "recursive complexType" (fun () ->
+        let s =
+          Xsd_import.schema_of_string
+            {|<schema>
+                <element name="part" type="Part"/>
+                <complexType name="Part">
+                  <sequence>
+                    <element name="name" type="string"/>
+                    <element name="part" type="Part" minOccurs="0" maxOccurs="unbounded"/>
+                  </sequence>
+                </complexType>
+              </schema>|}
+        in
+        check_bool "recursive" true (Xschema.recursive s "Part");
+        let doc =
+          Xml.elem "part"
+            [ Xml.leaf "name" "a"; Xml.elem "part" [ Xml.leaf "name" "b" ] ]
+        in
+        check_bool "valid" true (Result.is_ok (Validate.document s doc)));
+    case "import errors" (fun () ->
+        List.iter
+          (fun xsd ->
+            match Xsd_import.schema_of_string xsd with
+            | _ -> Alcotest.failf "expected Import_error for %s" xsd
+            | exception Xsd_import.Import_error _ -> ())
+          [
+            "<notschema/>";
+            "<schema><complexType name=\"T\"/></schema>";
+            {|<schema><element name="r" type="Missing"/></schema>|};
+          ]);
+    case "appendix B XSD imports" (fun () ->
+        let s = Lazy.force imdb_xsd in
+        check_string "root" "IMDB" (Xschema.root s);
+        List.iter
+          (fun n -> check_bool n true (Xschema.mem s n))
+          [ "IMDB"; "Show"; "Director"; "Actor"; "Movie"; "TV" ];
+        check_bool "well-formed" true (Result.is_ok (Xschema.check s)));
+    case "imported schema accepts generated IMDB documents" (fun () ->
+        let s = Lazy.force imdb_xsd in
+        check_bool "generated doc valid" true
+          (Result.is_ok (Validate.document s (Lazy.force small_imdb_doc))));
+    case "imported and hand-built schemas accept the same documents"
+      (fun () ->
+        let s = Lazy.force imdb_xsd in
+        let rng = Random.State.make [| 41 |] in
+        for _ = 1 to 8 do
+          let doc = doc_of_schema ~rng Imdb.Schema.schema in
+          check_bool "hand-built doc valid under import" true
+            (Result.is_ok (Validate.document s doc))
+        done;
+        let rng = Random.State.make [| 43 |] in
+        for _ = 1 to 8 do
+          let doc = doc_of_schema ~rng s in
+          check_bool "imported doc valid under hand-built" true
+            (Result.is_ok (Validate.document Imdb.Schema.schema doc))
+        done);
+    case "imported schema runs the whole pipeline" (fun () ->
+        let s = Lazy.force imdb_xsd in
+        let doc = Lazy.force small_imdb_doc in
+        let annotated = Annotate.schema (Collector.collect doc) s in
+        let m = mapping_of (Init.all_inlined annotated) in
+        let db = Shred.shred m doc in
+        check_bool "round trip" true (Xml.equal doc (Publish.document db m));
+        let cost =
+          Search.pschema_cost
+            ~workload:(Workload.of_queries [ Imdb.Queries.q 1 ])
+            (Init.all_inlined annotated)
+        in
+        check_bool "costable" true (cost > 0.));
+  ]

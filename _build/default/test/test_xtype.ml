@@ -1,0 +1,126 @@
+open Legodb
+open Test_util
+
+let t_title = Xtype.named_elem "title" Xtype.string_
+let t_year = Xtype.named_elem "year" Xtype.integer
+
+let suite =
+  [
+    case "seq flattens and drops empty" (fun () ->
+        let t = Xtype.seq [ t_title; Xtype.Empty; Xtype.seq [ t_year ] ] in
+        match t with
+        | Xtype.Seq [ _; _ ] -> ()
+        | _ -> Alcotest.failf "got %s" (Xtype.to_string t));
+    case "seq of one collapses" (fun () ->
+        check_bool "singleton" true (Xtype.equal (Xtype.seq [ t_title ]) t_title));
+    case "choice flattens" (fun () ->
+        match Xtype.choice [ t_title; Xtype.choice [ t_year; t_title ] ] with
+        | Xtype.Choice [ _; _; _ ] -> ()
+        | t -> Alcotest.failf "got %s" (Xtype.to_string t));
+    case "rep of once collapses" (fun () ->
+        check_bool "once" true
+          (Xtype.equal (Xtype.rep t_title Xtype.once) t_title));
+    case "rep of empty is empty" (fun () ->
+        check_bool "empty" true
+          (Xtype.equal (Xtype.rep Xtype.Empty Xtype.star) Xtype.Empty));
+    case "nested reps fuse" (fun () ->
+        match Xtype.rep (Xtype.rep t_title Xtype.opt) Xtype.star with
+        | Xtype.Rep (_, o) ->
+            check_bool "0..*" true (Xtype.occurs_equal o Xtype.star)
+        | t -> Alcotest.failf "got %s" (Xtype.to_string t));
+    case "equality ignores stats" (fun () ->
+        let with_stats =
+          Xtype.Scalar
+            ( Xtype.String_t,
+              Some { Xtype.width = 50; s_min = None; s_max = None; distinct = Some 3 } )
+        in
+        check_bool "equal" true (Xtype.equal with_stats Xtype.string_);
+        check_bool "strict differs" false
+          (Xtype.equal_strict with_stats Xtype.string_));
+    case "nullable" (fun () ->
+        check_bool "empty" true (Xtype.nullable Xtype.Empty);
+        check_bool "star" true (Xtype.nullable (Xtype.rep t_title Xtype.star));
+        check_bool "plus" false (Xtype.nullable (Xtype.rep t_title Xtype.plus));
+        check_bool "elem" false (Xtype.nullable t_title);
+        check_bool "choice with empty" true
+          (Xtype.nullable (Xtype.Choice [ t_title; Xtype.Empty ])));
+    case "refs in order" (fun () ->
+        let t =
+          Xtype.seq [ Xtype.ref_ "A"; Xtype.rep (Xtype.ref_ "B") Xtype.star; Xtype.ref_ "A" ]
+        in
+        Alcotest.(check (list string)) "refs" [ "A"; "B"; "A" ] (Xtype.refs t));
+    case "elements pre-order" (fun () ->
+        let t = Xtype.named_elem "a" (Xtype.seq [ t_title; t_year ]) in
+        let tags =
+          List.map (fun (e : Xtype.elem) -> Label.to_string e.label) (Xtype.elements t)
+        in
+        Alcotest.(check (list string)) "tags" [ "a"; "title"; "year" ] tags);
+    case "size" (fun () ->
+        check_int "size" 6
+          (Xtype.size (Xtype.named_elem "a" (Xtype.seq [ t_title; t_year ]))));
+    case "subterm and locations agree" (fun () ->
+        let t = Xtype.named_elem "a" (Xtype.seq [ t_title; Xtype.rep t_year Xtype.star ]) in
+        List.iter
+          (fun (loc, sub) ->
+            match Xtype.subterm t loc with
+            | Some sub' -> check_bool "same node" true (sub == sub')
+            | None -> Alcotest.fail "dangling location")
+          (Xtype.locations t));
+    case "locations pre-order root first" (fun () ->
+        let t = Xtype.seq [ t_title; t_year ] in
+        match Xtype.locations t with
+        | ([], _) :: ([ 0 ], _) :: _ -> ()
+        | _ -> Alcotest.fail "unexpected order");
+    case "replace at location" (fun () ->
+        let t = Xtype.named_elem "a" (Xtype.seq [ t_title; t_year ]) in
+        let t' = Xtype.replace t [ 0; 1 ] (Xtype.ref_ "Year") in
+        match Xtype.subterm t' [ 0; 1 ] with
+        | Some (Xtype.Ref "Year") -> ()
+        | _ -> Alcotest.fail "replace failed");
+    case "replace renormalizes" (fun () ->
+        let t = Xtype.seq [ t_title; t_year ] in
+        let t' = Xtype.replace t [ 1 ] Xtype.Empty in
+        check_bool "collapsed" true (Xtype.equal t' t_title));
+    case "replace out of range" (fun () ->
+        let t = Xtype.seq [ t_title; t_year ] in
+        match Xtype.replace t [ 5 ] Xtype.Empty with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    case "scale_counts scales counts" (fun () ->
+        let e =
+          Xtype.elem
+            ~ann:{ Xtype.count = Some 100.; labels = [ ("x", 40.) ] }
+            (Label.Name "a") Xtype.string_
+        in
+        match Xtype.scale_counts 0.5 e with
+        | Xtype.Elem { ann = { count = Some c; labels = [ (_, lc) ] }; _ } ->
+            check_bool "count" true (abs_float (c -. 50.) < 1e-9);
+            check_bool "label" true (abs_float (lc -. 20.) < 1e-9)
+        | _ -> Alcotest.fail "unexpected shape");
+    case "map_ref renames" (fun () ->
+        let t = Xtype.seq [ Xtype.ref_ "A"; t_title ] in
+        let t' = Xtype.map_ref (fun n -> n ^ "2") t in
+        Alcotest.(check (list string)) "renamed" [ "A2" ] (Xtype.refs t'));
+    case "pretty printing matches paper style" (fun () ->
+        let t =
+          Xtype.named_elem "show"
+            (Xtype.seq
+               [
+                 Xtype.attr "type" Xtype.string_;
+                 t_title;
+                 Xtype.rep (Xtype.ref_ "Aka") (Xtype.occ 1 (Xtype.Bounded 10));
+                 Xtype.choice [ Xtype.ref_ "Movie"; Xtype.ref_ "TV" ];
+               ])
+        in
+        let s = Xtype.to_string t in
+        check_bool "has attr" true (contains s "@type[ String ]");
+        check_bool "has occurs" true (contains s "Aka{1,10}");
+        check_bool "has union" true (contains s "(Movie | TV)"));
+    case "pp occurs shorthand" (fun () ->
+        let s = Format.asprintf "%a" Xtype.pp (Xtype.rep t_title Xtype.star) in
+        check_bool "star" true (String.length s > 0 && s.[String.length s - 1] = '*'));
+    case "scalar_ok" (fun () ->
+        check_bool "int" true (Xtype.scalar_ok Xtype.Integer_t " 1,234 ");
+        check_bool "not int" false (Xtype.scalar_ok Xtype.Integer_t "abc");
+        check_bool "string" true (Xtype.scalar_ok Xtype.String_t "anything"));
+  ]

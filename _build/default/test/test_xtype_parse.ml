@@ -1,0 +1,139 @@
+open Legodb
+open Test_util
+
+let parse = Xtype_parse.type_of_string
+
+let roundtrip_type name t =
+  case name (fun () ->
+      let printed = Xtype.to_string t in
+      let t' = parse printed in
+      if not (Xtype.equal t t') then
+        Alcotest.failf "round trip changed %s into %s" printed
+          (Xtype.to_string t'))
+
+let suite =
+  [
+    case "scalars and refs" (fun () ->
+        check_bool "string" true (Xtype.equal (parse "String") Xtype.string_);
+        check_bool "integer" true (Xtype.equal (parse "Integer") Xtype.integer);
+        check_bool "ref" true (Xtype.equal (parse "Show") (Xtype.ref_ "Show"));
+        check_bool "primed ref" true
+          (Xtype.equal (parse "Name''") (Xtype.ref_ "Name''")));
+    case "elements, attributes, wildcards" (fun () ->
+        check_bool "elem" true
+          (Xtype.equal (parse "title[ String ]")
+             (Xtype.named_elem "title" Xtype.string_));
+        check_bool "attr" true
+          (Xtype.equal (parse "@type[ String ]")
+             (Xtype.attr "type" Xtype.string_));
+        check_bool "wildcard" true
+          (Xtype.equal (parse "~[ String ]")
+             (Xtype.elem Label.Any Xtype.string_));
+        check_bool "wildcard except" true
+          (Xtype.equal
+             (parse "~!nyt,suntimes[ String ]")
+             (Xtype.elem (Label.Any_except [ "nyt"; "suntimes" ]) Xtype.string_)));
+    case "occurrences" (fun () ->
+        check_bool "star" true
+          (Xtype.equal (parse "Aka*") (Xtype.rep (Xtype.ref_ "Aka") Xtype.star));
+        check_bool "plus" true
+          (Xtype.equal (parse "Aka+") (Xtype.rep (Xtype.ref_ "Aka") Xtype.plus));
+        check_bool "opt" true
+          (Xtype.equal (parse "Aka?") (Xtype.optional (Xtype.ref_ "Aka")));
+        check_bool "range" true
+          (Xtype.equal (parse "Aka{1,10}")
+             (Xtype.rep (Xtype.ref_ "Aka") (Xtype.occ 1 (Xtype.Bounded 10))));
+        check_bool "open range" true
+          (Xtype.equal (parse "Aka{2,*}")
+             (Xtype.rep (Xtype.ref_ "Aka") (Xtype.occ 2 Xtype.Unbounded))));
+    case "sequences and unions" (fun () ->
+        check_bool "seq" true
+          (Xtype.equal
+             (parse "title[ String ], year[ Integer ]")
+             (Xtype.seq
+                [
+                  Xtype.named_elem "title" Xtype.string_;
+                  Xtype.named_elem "year" Xtype.integer;
+                ]));
+        check_bool "union" true
+          (Xtype.equal (parse "(Movie | TV)")
+             (Xtype.choice [ Xtype.ref_ "Movie"; Xtype.ref_ "TV" ]));
+        check_bool "empty" true (Xtype.equal (parse "()") Xtype.Empty));
+    case "statistics annotations" (fun () ->
+        match parse "String<#50,#34798>" with
+        | Xtype.Scalar (Xtype.String_t, Some st) ->
+            check_int "width" 50 st.Xtype.width;
+            check_int "distinct" 34798 (Option.get st.Xtype.distinct)
+        | _ -> Alcotest.fail "bad scalar stats");
+    case "integer stats with holes" (fun () ->
+        match parse "Integer<#4,#?,#2100,#?>" with
+        | Xtype.Scalar (Xtype.Integer_t, Some st) ->
+            check_bool "min absent" true (st.Xtype.s_min = None);
+            check_int "max" 2100 (Option.get st.Xtype.s_max)
+        | _ -> Alcotest.fail "bad holes");
+    case "element counts" (fun () ->
+        match parse "show[ String ]<#34798>" with
+        | Xtype.Elem e -> check_bool "count" true (e.ann.count = Some 34798.)
+        | _ -> Alcotest.fail "bad elem count");
+    case "comments" (fun () ->
+        check_bool "comment" true
+          (Xtype.equal (parse "(: hello :) String") Xtype.string_));
+    case "parse errors" (fun () ->
+        List.iter
+          (fun input ->
+            match parse input with
+            | _ -> Alcotest.failf "expected a parse error for %S" input
+            | exception Xtype_parse.Parse_error _ -> ())
+          [ ""; "title["; "(a | )"; "Aka{1,}"; "String<#>"; "foo ]" ]);
+    roundtrip_type "round trip: show body"
+      (Xschema.find Imdb.Schema.section2 "Show");
+    roundtrip_type "round trip: imdb show" (Xschema.find Imdb.Schema.schema "Show");
+    roundtrip_type "round trip: actor" (Xschema.find Imdb.Schema.schema "Actor");
+    case "schema: paper notation parses" (fun () ->
+        let s =
+          Xtype_parse.schema_of_string
+            {|
+              type IMDB = imdb [ Show{0,*}, Director{0,*} ]
+              type Show = show [ @type[ String ], title[ String ],
+                                 year[ Integer ], Aka{1,10}, (Movie | TV) ]
+              type Aka = aka[ String ]
+              type Movie = box_office[ Integer ], video_sales[ Integer ]
+              type TV = seasons[ Integer ], description[ String ]
+              type Director = director [ name[ String ] ]
+            |}
+        in
+        check_string "root" "IMDB" (Xschema.root s);
+        check_int "defs" 6 (List.length (Xschema.defs s));
+        check_bool "well-formed" true (Result.is_ok (Xschema.check s)));
+    case "schema: full round trip through the printer" (fun () ->
+        List.iter
+          (fun schema ->
+            let printed = Xschema.to_string schema in
+            let reparsed =
+              Xtype_parse.schema_of_string ~root:(Xschema.root schema) printed
+            in
+            check_bool "equal" true (Xschema.equal schema reparsed))
+          [ Imdb.Schema.schema; Imdb.Schema.section2; books_schema ]);
+    case "schema: annotated round trip keeps counts" (fun () ->
+        let annotated = Lazy.force annotated_imdb in
+        let printed = Format.asprintf "%a" Xschema.pp_with_stats annotated in
+        let reparsed = Xtype_parse.schema_of_string ~root:"IMDB" printed in
+        check_bool "bodies equal" true (Xschema.equal annotated reparsed);
+        (* the Show cardinality survives the text round trip *)
+        match Rewrite.card_of_def reparsed "Show" with
+        | Some c -> check_bool "card" true (c = 34798.)
+        | None -> Alcotest.fail "count lost");
+    case "normalized and transformed schemas round trip" (fun () ->
+        List.iter
+          (fun schema ->
+            let printed = Xschema.to_string schema in
+            let reparsed =
+              Xtype_parse.schema_of_string ~root:(Xschema.root schema) printed
+            in
+            check_bool "equal" true (Xschema.equal schema reparsed))
+          [
+            Init.normalize Imdb.Schema.schema;
+            Init.all_outlined Imdb.Schema.schema;
+            Init.all_inlined Imdb.Schema.schema;
+          ]);
+  ]
