@@ -444,3 +444,84 @@ let ablation () =
       in
       Printf.printf "%-14.0f %-12.1f %-10d\n%!" weight r.Search.cost tables)
     [ 0.; 5.; 20.; 80. ]
+
+(* ------------------------------------------------------------------ *)
+(* search_perf: cost-engine caching effect on the search wall-clock    *)
+(* ------------------------------------------------------------------ *)
+
+(* Three timed runs per (workload, strategy): [cold] disables the cache
+   entirely, [first] runs with a fresh engine (within-run reuse across
+   neighbours and iterations), [rerun] repeats the search on the warm
+   engine (the incremental re-tuning scenario: every configuration the
+   search visits is already cached).  All three must agree bit for bit
+   on the selected cost — the cache is pure memoization. *)
+let search_perf () =
+  print_endline
+    "\nSearch wall-clock vs. cost-engine caching\n\
+     =========================================";
+  let schema = annotated Imdb.Stats.full in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first_row = ref true in
+  let row ~strategy ~wname ~(workload : Workload.t) run =
+    let cold, t_cold = time (fun () -> run ~engine:None ~memoize:(Some false)) in
+    let eng = Cost_engine.create ~params ~workload () in
+    let first, t_first = time (fun () -> run ~engine:(Some eng) ~memoize:None) in
+    let rerun, t_rerun = time (fun () -> run ~engine:(Some eng) ~memoize:None) in
+    if
+      not
+        (Float.equal cold.Search.cost first.Search.cost
+        && Float.equal first.Search.cost rerun.Search.cost)
+    then
+      failwith
+        (Printf.sprintf "search_perf: %s/%s cached cost diverges" strategy wname);
+    let e1 = first.Search.engine and e2 = rerun.Search.engine in
+    Printf.printf
+      "%-9s %-7s  cold %6.3fs  first %6.3fs (%3.0f%% hits, %.1fx)  rerun \
+       %6.3fs (%3.0f%% hits, %.1fx)\n\
+       %!"
+      strategy wname t_cold t_first
+      (100. *. Cost_engine.hit_rate e1)
+      (t_cold /. t_first) t_rerun
+      (100. *. Cost_engine.hit_rate e2)
+      (t_cold /. t_rerun);
+    if not !first_row then Buffer.add_string buf ",";
+    first_row := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n\
+          \  {\"strategy\": \"%s\", \"workload\": \"%s\", \"cost\": %.1f,\n\
+          \   \"configs_costed\": %d, \"hits\": %d, \"misses\": %d, \
+          \"hit_rate\": %.3f,\n\
+          \   \"cold_s\": %.4f, \"first_s\": %.4f, \"rerun_s\": %.4f,\n\
+          \   \"first_speedup\": %.2f, \"rerun_speedup\": %.2f, \
+          \"rerun_hit_rate\": %.3f}"
+         strategy wname cold.Search.cost e1.Cost_engine.evaluations
+         e1.Cost_engine.hits e1.Cost_engine.misses (Cost_engine.hit_rate e1)
+         t_cold t_first t_rerun (t_cold /. t_first) (t_cold /. t_rerun)
+         (Cost_engine.hit_rate e2))
+  in
+  List.iter
+    (fun (wname, workload) ->
+      row ~strategy:"greedy_si" ~wname ~workload (fun ~engine ~memoize ->
+          Search.greedy_si ~params ?memoize ?engine ~workload schema);
+      row ~strategy:"beam" ~wname ~workload (fun ~engine ~memoize ->
+          Search.beam ~params ?memoize ?engine ~workload
+            (Init.all_inlined schema)))
+    [
+      ("lookup", Imdb.Workloads.lookup);
+      ("publish", Imdb.Workloads.publish);
+      ("mixed", Imdb.Workloads.mixed 0.5);
+    ];
+  Buffer.add_string buf "\n]\n";
+  print_newline ();
+  print_string (Buffer.contents buf);
+  let oc = open_out "BENCH_search_perf.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  print_endline "[wrote BENCH_search_perf.json]"

@@ -95,6 +95,7 @@ let experiments =
     ("fig14", Experiments.fig14);
     ("table2", Experiments.table2);
     ("ablation", Experiments.ablation);
+    ("search_perf", Experiments.search_perf);
     ("micro", micro);
   ]
 

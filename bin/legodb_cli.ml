@@ -160,6 +160,7 @@ let design_cmd =
                         mapping;
                         cost = r.Search.cost;
                         trace = r.Search.trace;
+                        engine = r.Search.engine;
                       };
                     `Ok ())))
   in

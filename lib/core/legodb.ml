@@ -37,6 +37,7 @@ module Xq_translate = Legodb_mapping.Xq_translate
 module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
+module Cost_engine = Legodb_search.Cost_engine
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema
@@ -51,6 +52,7 @@ type design = {
   mapping : Mapping.t;  (** its relational configuration *)
   cost : float;  (** estimated workload cost *)
   trace : Search.trace_entry list;  (** greedy iterations *)
+  engine : Cost_engine.snapshot;  (** cost-engine work & cache totals *)
 }
 
 type strategy = Greedy_si | Greedy_so
@@ -70,6 +72,7 @@ let design ?(strategy = Greedy_si) ?params ?threshold ~schema ~stats ~workload
         mapping;
         cost = result.Search.cost;
         trace = result.Search.trace;
+        engine = result.Search.engine;
       }
   | Error es ->
       invalid_arg
@@ -83,7 +86,8 @@ let design_of_xml ?strategy ?params ?threshold ~schema ~document ~workload () =
 let report fmt d =
   Format.fprintf fmt "-- LegoDB storage design --@.";
   Format.fprintf fmt "estimated workload cost: %.1f@." d.cost;
-  Format.fprintf fmt "greedy iterations: %d@.@." (List.length d.trace - 1);
+  Format.fprintf fmt "greedy iterations: %d@." (List.length d.trace - 1);
+  Format.fprintf fmt "cost engine: %a@.@." Cost_engine.pp_snapshot d.engine;
   Format.fprintf fmt "%a@." Search.pp_trace d.trace;
   Format.fprintf fmt "selected p-schema:@.%a@." Xschema.pp d.schema;
   Format.fprintf fmt "relational configuration:@.@[<v>%a@]@." Rschema.pp

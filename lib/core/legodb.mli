@@ -51,6 +51,7 @@ module Xq_translate = Legodb_mapping.Xq_translate
 module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
+module Cost_engine = Legodb_search.Cost_engine
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig
@@ -68,6 +69,9 @@ type design = {
   mapping : Mapping.t;  (** its relational configuration *)
   cost : float;  (** estimated workload cost *)
   trace : Search.trace_entry list;  (** greedy iterations, first = initial *)
+  engine : Cost_engine.snapshot;
+      (** the search's cost-engine totals: configurations costed, cache
+          hit rate, per-layer wall time *)
 }
 
 type strategy =

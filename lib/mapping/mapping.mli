@@ -41,6 +41,35 @@ val of_pschema : ?order_columns:bool -> Xschema.t -> (t, string list) result
 val is_transparent : Xschema.t -> string -> bool
 val real_parents : Xschema.t -> string -> string list
 
+val table_shape : Rschema.table -> string
+(** Name-independent structural serialization of one table: every
+    column with its complete statistics (floats hex-printed, so the
+    serialization is exact), nullability, index membership, and the
+    table cardinality.  Key and foreign-key columns are anonymized
+    because their names embed (possibly fresh) type names.  Two tables
+    with equal shapes produce identical optimizer estimates. *)
+
+val table_fingerprints : Rschema.t -> (string * string) list
+(** [(type name, fingerprint)] for every table of the catalog.  A
+    fingerprint is the table's {!table_shape} extended with one
+    Weisfeiler–Leman round over its parents' shapes, so the join
+    topology is part of the fingerprint.  This is the invalidation key
+    of the incremental cost engine: a query's cached cost is reusable
+    exactly when the fingerprints of the tables it touches are
+    unchanged. *)
+
+val catalog_fingerprint : Rschema.t -> string
+(** Order-independent fingerprint of the whole catalog (the sorted
+    table fingerprints joined); configurations reached by different
+    transformation orders compare equal.  Used by {!Search.beam} to
+    deduplicate configurations. *)
+
+val provenance : t -> (string * string list) list
+(** For every reachable type name, the tables where its content lives:
+    a concrete type maps to its own table; a transparent (collapsed)
+    type maps to the nearest data-bearing ancestors its children
+    attached to. *)
+
 val card : t -> string -> float
 (** Cardinality of a type's table.  @raise Not_found for unknown or
     transparent types. *)

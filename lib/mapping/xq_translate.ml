@@ -330,6 +330,20 @@ let translate m (q : Xq_ast.t) =
 let translate_workload m w =
   List.map (fun (q, weight) -> (translate m q, weight)) w
 
+module TSet = Set.Make (String)
+
+let block_tables acc (b : Logical.block) =
+  List.fold_left
+    (fun acc (r : Logical.relation) -> TSet.add r.Logical.table acc)
+    acc b.Logical.relations
+
+let query_tables (q : Logical.query) =
+  TSet.elements (List.fold_left block_tables TSet.empty q.Logical.blocks)
+
+let translate_with_tables m q =
+  let lq = translate m q in
+  (lq, query_tables lq)
+
 let equality_columns queries =
   let add acc (table, col) =
     if List.mem (table, col) acc then acc else (table, col) :: acc
@@ -475,3 +489,17 @@ let translate_update m (u : Xq_ast.update) : Logical.update =
 
 let translate_updates m us =
   List.map (fun (u, weight) -> (translate_update m u, weight)) us
+
+let update_tables (u : Logical.update) =
+  TSet.elements
+    (List.fold_left
+       (fun acc (w : Logical.write) ->
+         let acc = TSet.add w.Logical.w_table acc in
+         match w.Logical.w_locate with
+         | Some b -> block_tables acc b
+         | None -> acc)
+       TSet.empty u.Logical.writes)
+
+let translate_update_with_tables m u =
+  let lu = translate_update m u in
+  (lu, update_tables lu)

@@ -36,6 +36,18 @@ val translate : Mapping.t -> Legodb_xquery.Xq_ast.t -> Logical.query
 val translate_workload :
   Mapping.t -> Legodb_xquery.Workload.t -> (Logical.query * float) list
 
+val query_tables : Logical.query -> string list
+(** The distinct tables the query's SPJ blocks reference, sorted.  This
+    is the query's read set: its optimizer cost depends only on these
+    tables (their statistics and indexes), which is what lets the
+    incremental cost engine reuse a cached cost when none of them
+    changed. *)
+
+val translate_with_tables :
+  Mapping.t -> Legodb_xquery.Xq_ast.t -> Logical.query * string list
+(** {!translate} paired with {!query_tables} of the result.
+    @raise Untranslatable *)
+
 val equality_columns : Logical.query list -> (string * string) list
 (** The (table, column) pairs compared to constants anywhere in the
     queries — the columns a tuned installation would index (the paper's
@@ -59,3 +71,13 @@ val translate_updates :
   Mapping.t ->
   (Legodb_xquery.Xq_ast.update * float) list ->
   (Logical.update * float) list
+
+val update_tables : Logical.update -> string list
+(** The distinct tables the update writes or reads (written tables plus
+    the relations of every locating block), sorted — the invalidation
+    set for cached write costs. *)
+
+val translate_update_with_tables :
+  Mapping.t -> Legodb_xquery.Xq_ast.update -> Logical.update * string list
+(** {!translate_update} paired with {!update_tables} of the result.
+    @raise Untranslatable *)

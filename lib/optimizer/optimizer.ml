@@ -521,11 +521,11 @@ let query_cost ?(params = Cost.default_params) cat (q : Logical.query) =
   in
   (results, total)
 
-let workload_cost ?(params = Cost.default_params) cat workload =
+let query_scalar_cost ?params cat q = snd (query_cost ?params cat q)
+
+let workload_cost ?params cat workload =
   List.fold_left
-    (fun acc (q, weight) ->
-      let _, c = query_cost ~params cat q in
-      acc +. (weight *. c))
+    (fun acc (q, weight) -> acc +. (weight *. query_scalar_cost ?params cat q))
     0. workload
 
 (* ------------------------------------------------------------------ *)
@@ -569,8 +569,10 @@ let write_cost ?(params = Cost.default_params) cat (u : Logical.update) =
       acc +. locate_cost +. Cost.total params (Cost.scale rows per_row))
     0. u.Logical.writes
 
-let mixed_workload_cost ?(params = Cost.default_params) cat ~queries ~updates =
-  workload_cost ~params cat queries
-  +. List.fold_left
-       (fun acc (u, weight) -> acc +. (weight *. write_cost ~params cat u))
-       0. updates
+let updates_cost ?params cat updates =
+  List.fold_left
+    (fun acc (u, weight) -> acc +. (weight *. write_cost ?params cat u))
+    0. updates
+
+let mixed_workload_cost ?params cat ~queries ~updates =
+  workload_cost ?params cat queries +. updates_cost ?params cat updates

@@ -42,10 +42,18 @@ val query_cost :
 (** Optimize every block with a fresh shared-access cache; the query's
     scalar cost is the sum of block costs. *)
 
+val query_scalar_cost :
+  ?params:Cost.params -> Rschema.t -> Logical.query -> float
+(** The scalar of {!query_cost} without the plans — the per-query
+    costing entry point the incremental cost engine memoizes.  A
+    query's scalar cost is a pure function of the catalog entries of
+    the tables its blocks reference. *)
+
 val workload_cost :
   ?params:Cost.params -> Rschema.t -> (Logical.query * float) list -> float
 (** Weighted sum of query costs — the objective minimized by the
-    greedy search. *)
+    greedy search.  Equals folding {!query_scalar_cost} over the
+    workload in order. *)
 
 val write_cost :
   ?params:Cost.params -> Rschema.t -> Logical.update -> float
@@ -55,6 +63,10 @@ val write_cost :
     index on the table (a seek and a tuple of CPU each); updates in
     place touch one index. *)
 
+val updates_cost :
+  ?params:Cost.params -> Rschema.t -> (Logical.update * float) list -> float
+(** Weighted sum of {!write_cost} over the update statements. *)
+
 val mixed_workload_cost :
   ?params:Cost.params ->
   Rschema.t ->
@@ -62,4 +74,5 @@ val mixed_workload_cost :
   updates:(Logical.update * float) list ->
   float
 (** Weighted queries plus weighted updates — the objective for
-    update-aware storage design (the paper's future-work extension). *)
+    update-aware storage design (the paper's future-work extension).
+    Equals [workload_cost + updates_cost]. *)

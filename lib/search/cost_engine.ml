@@ -1,0 +1,194 @@
+module Mapping = Legodb_mapping.Mapping
+module Xq_translate = Legodb_mapping.Xq_translate
+module Rschema = Legodb_relational.Rschema
+module Optimizer = Legodb_optimizer.Optimizer
+module Cost = Legodb_optimizer.Cost
+
+exception Cost_error of string
+
+type snapshot = {
+  evaluations : int;
+  hits : int;
+  misses : int;
+  t_mapping : float;
+  t_translate : float;
+  t_optimize : float;
+}
+
+let empty_snapshot =
+  {
+    evaluations = 0;
+    hits = 0;
+    misses = 0;
+    t_mapping = 0.;
+    t_translate = 0.;
+    t_optimize = 0.;
+  }
+
+type t = {
+  params : Cost.params option;
+  workload_indexes : bool;
+  queries : (Legodb_xquery.Xq_ast.t * float) array;
+  updates : (Legodb_xquery.Xq_ast.update * float) array;
+  memoize : bool;
+  oracle : bool;
+  cache : (string, float) Hashtbl.t;
+  mutable evaluations : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable t_mapping : float;
+  mutable t_translate : float;
+  mutable t_optimize : float;
+}
+
+let create ?params ?(workload_indexes = false) ?(updates = [])
+    ?(memoize = true) ?(oracle = false) ~workload () =
+  {
+    params;
+    workload_indexes;
+    queries = Array.of_list workload;
+    updates = Array.of_list updates;
+    memoize;
+    oracle;
+    cache = Hashtbl.create 256;
+    evaluations = 0;
+    hits = 0;
+    misses = 0;
+    t_mapping = 0.;
+    t_translate = 0.;
+    t_optimize = 0.;
+  }
+
+let now = Unix.gettimeofday
+
+(* The cache key of one statement: its position in the workload plus
+   the sorted fingerprints of the tables it touches.  Sorting the
+   fingerprints (not the table names) keeps the key independent of the
+   fresh type names a transformation order happens to generate, so
+   structurally identical configurations reached by different step
+   orders hit the same entry. *)
+let key ~kind ~index fps tables =
+  let fp t =
+    match List.assoc_opt t fps with Some f -> f | None -> "?" ^ t
+  in
+  Printf.sprintf "%c%d|%s" kind index
+    (String.concat "\x00" (List.sort String.compare (List.map fp tables)))
+
+let cost t schema =
+  t.evaluations <- t.evaluations + 1;
+  let t0 = now () in
+  let m =
+    match Mapping.of_pschema schema with
+    | Error es -> raise (Cost_error (String.concat "; " es))
+    | Ok m -> m
+  in
+  t.t_mapping <- t.t_mapping +. (now () -. t0);
+  let t1 = now () in
+  let queries, updates =
+    match
+      ( Array.map
+          (fun (q, w) -> (Xq_translate.translate_with_tables m q, w))
+          t.queries,
+        Array.map
+          (fun (u, w) -> (Xq_translate.translate_update_with_tables m u, w))
+          t.updates )
+    with
+    | qs, us -> (qs, us)
+    | exception Xq_translate.Untranslatable msg -> raise (Cost_error msg)
+  in
+  t.t_translate <- t.t_translate +. (now () -. t1);
+  let catalog =
+    if t.workload_indexes then
+      Rschema.add_indexes m.Mapping.catalog
+        (Xq_translate.equality_columns
+           (Array.to_list (Array.map (fun ((q, _), _) -> q) queries)))
+    else m.Mapping.catalog
+  in
+  (* fingerprints are computed on the catalog the optimizer sees, so
+     workload-granted indexes are part of the invalidation key *)
+  let fps = lazy (Mapping.table_fingerprints catalog) in
+  let costed kind index tables fresh =
+    let compute () =
+      let t2 = now () in
+      let c = fresh () in
+      t.t_optimize <- t.t_optimize +. (now () -. t2);
+      c
+    in
+    if not t.memoize then compute ()
+    else
+      let k = key ~kind ~index (Lazy.force fps) tables in
+      match Hashtbl.find_opt t.cache k with
+      | Some c ->
+          if t.oracle then begin
+            let fresh_c = compute () in
+            if not (Float.equal c fresh_c) then
+              invalid_arg
+                (Printf.sprintf
+                   "Cost_engine: cache divergence on statement %c%d (cached \
+                    %h, fresh %h)"
+                   kind index c fresh_c)
+          end;
+          t.hits <- t.hits + 1;
+          c
+      | None ->
+          let c = compute () in
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.cache k c;
+          c
+  in
+  (* exactly Optimizer.mixed_workload_cost's summation order, so a warm
+     engine and a cold cost agree bit for bit *)
+  let total = ref 0. in
+  Array.iteri
+    (fun i ((q, tables), weight) ->
+      let c =
+        costed 'q' i tables (fun () ->
+            Optimizer.query_scalar_cost ?params:t.params catalog q)
+      in
+      total := !total +. (weight *. c))
+    queries;
+  let wtotal = ref 0. in
+  Array.iteri
+    (fun i ((u, tables), weight) ->
+      let c =
+        costed 'u' i tables (fun () ->
+            Optimizer.write_cost ?params:t.params catalog u)
+      in
+      wtotal := !wtotal +. (weight *. c))
+    updates;
+  !total +. !wtotal
+
+let cost_opt t schema =
+  match cost t schema with c -> Some c | exception Cost_error _ -> None
+
+let snapshot t =
+  {
+    evaluations = t.evaluations;
+    hits = t.hits;
+    misses = t.misses;
+    t_mapping = t.t_mapping;
+    t_translate = t.t_translate;
+    t_optimize = t.t_optimize;
+  }
+
+let diff (a : snapshot) (b : snapshot) =
+  {
+    evaluations = a.evaluations - b.evaluations;
+    hits = a.hits - b.hits;
+    misses = a.misses - b.misses;
+    t_mapping = a.t_mapping -. b.t_mapping;
+    t_translate = a.t_translate -. b.t_translate;
+    t_optimize = a.t_optimize -. b.t_optimize;
+  }
+
+let hit_rate (s : snapshot) =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0. else float_of_int s.hits /. float_of_int lookups
+
+let pp_snapshot fmt (s : snapshot) =
+  Format.fprintf fmt
+    "%d configurations costed, %d statement costings (%d cached, %.0f%% hit \
+     rate); mapping %.3fs, translate %.3fs, optimize %.3fs"
+    s.evaluations (s.hits + s.misses) s.hits
+    (100. *. hit_rate s)
+    s.t_mapping s.t_translate s.t_optimize

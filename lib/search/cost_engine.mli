@@ -1,0 +1,73 @@
+(** Incremental, per-query cost evaluation for the search loop.
+
+    Every greedy/beam iteration costs every neighbor configuration, yet
+    a single inline/outline step perturbs only a handful of tables and
+    leaves most queries' plans untouched.  The engine exploits this:
+    it memoizes each statement's optimizer cost under the key
+    [(statement index, fingerprints of the tables it touches)], where
+    the fingerprints come from {!Mapping.table_fingerprints}.  A cached
+    cost is reused exactly when every table the statement reads or
+    writes is structurally unchanged (columns, statistics, indexes,
+    cardinality, and parents) — in which case the optimizer would
+    recompute the identical float, so cached and cold costs are
+    bit-identical: the cache is a pure memoization, not an
+    approximation.
+
+    The fingerprints anonymize type-name-derived identifiers, so
+    structurally identical configurations reached by different
+    transformation orders (which generate different fresh names) also
+    hit. *)
+
+exception Cost_error of string
+(** Raised when a configuration cannot be costed (mapping or
+    translation failure) — same meaning as {!Search.Cost_error}. *)
+
+type snapshot = {
+  evaluations : int;  (** configurations costed (engine calls) *)
+  hits : int;  (** statement costings answered from the cache *)
+  misses : int;  (** statement costings computed by the optimizer *)
+  t_mapping : float;  (** seconds deriving relational catalogs *)
+  t_translate : float;  (** seconds translating the workload *)
+  t_optimize : float;  (** seconds in the relational optimizer *)
+}
+
+val empty_snapshot : snapshot
+
+type t
+
+val create :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?memoize:bool ->
+  ?oracle:bool ->
+  workload:Legodb_xquery.Workload.t ->
+  unit ->
+  t
+(** An engine for one fixed workload (and optional update mix).
+    [~memoize:false] disables the cache — every statement is costed
+    from scratch, which is the reference behaviour benchmarks compare
+    against.  [~oracle:true] re-costs every cache hit from scratch and
+    raises [Invalid_argument] if the cached float differs — the
+    self-checking mode the equivalence tests run in. *)
+
+val cost : t -> Legodb_xtype.Xschema.t -> float
+(** Cost one configuration: derive the catalog, translate the
+    workload, and sum per-statement costs, serving structurally
+    unchanged statements from the cache.  Produces the same float as
+    {!Search.pschema_cost} with the same arguments.
+    @raise Cost_error when the configuration cannot be costed. *)
+
+val cost_opt : t -> Legodb_xtype.Xschema.t -> float option
+(** [cost] with {!Cost_error} mapped to [None]. *)
+
+val snapshot : t -> snapshot
+(** Cumulative counters since [create]. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] — per-phase deltas, e.g. one iteration's. *)
+
+val hit_rate : snapshot -> float
+(** Hits over lookups, in [0,1]; [0.] before any lookup. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

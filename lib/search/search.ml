@@ -4,7 +4,7 @@ open Legodb_relational
 module Mapping = Legodb_mapping.Mapping
 module Xq_translate = Legodb_mapping.Xq_translate
 
-exception Cost_error of string
+exception Cost_error = Cost_engine.Cost_error
 
 let pschema_cost ?params ?(workload_indexes = false)
     ?(updates = ([] : (Legodb_xquery.Xq_ast.update * float) list)) ~workload
@@ -32,9 +32,15 @@ type trace_entry = {
   cost : float;
   step : Space.step option;
   tables : int;
+  engine : Cost_engine.snapshot;
 }
 
-type result = { schema : Xschema.t; cost : float; trace : trace_entry list }
+type result = {
+  schema : Xschema.t;
+  cost : float;
+  trace : trace_entry list;
+  engine : Cost_engine.snapshot;
+}
 
 let table_count schema =
   List.length
@@ -43,12 +49,17 @@ let table_count schema =
        (Xschema.reachable schema))
 
 let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(threshold = 0.) ?(max_iterations = 200) ~workload schema =
-  let cost_of s =
-    match pschema_cost ?params ?workload_indexes ?updates ~workload s with
-    | c -> Some c
-    | exception Cost_error _ -> None
+    ?(threshold = 0.) ?(max_iterations = 200) ?memoize ?engine ~workload schema
+    =
+  let eng =
+    match engine with
+    | Some e -> e
+    | None ->
+        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
+          ~workload ()
   in
+  let start = Cost_engine.snapshot eng in
+  let cost_of s = Cost_engine.cost_opt eng s in
   let initial_cost =
     match cost_of schema with
     | Some c -> c
@@ -57,6 +68,7 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
   let rec descend iteration schema cost trace =
     if iteration >= max_iterations then (schema, cost, trace)
     else
+      let before = Cost_engine.snapshot eng in
       let best =
         List.fold_left
           (fun best (step, schema') ->
@@ -77,24 +89,40 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
               cost = cost';
               step = Some step;
               tables = table_count schema';
+              engine = Cost_engine.diff (Cost_engine.snapshot eng) before;
             }
           in
           descend (iteration + 1) schema' cost' (entry :: trace)
       | Some _ | None -> (schema, cost, trace)
   in
   let trace0 =
-    [ { iteration = 0; cost = initial_cost; step = None; tables = table_count schema } ]
+    [
+      {
+        iteration = 0;
+        cost = initial_cost;
+        step = None;
+        tables = table_count schema;
+        engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+      };
+    ]
   in
   let schema, cost, trace = descend 0 schema initial_cost trace0 in
-  { schema; cost; trace = List.rev trace }
+  {
+    schema;
+    cost;
+    trace = List.rev trace;
+    engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+  }
 
-let greedy_so ?params ?workload_indexes ?updates ?threshold ~workload schema =
-  greedy ?params ?workload_indexes ?updates ?threshold
-    ~kinds:[ Space.K_inline ] ~workload (Init.all_outlined schema)
+let greedy_so ?params ?workload_indexes ?updates ?(kinds = [ Space.K_inline ])
+    ?threshold ?max_iterations ?memoize ?engine ~workload schema =
+  greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
+    ?memoize ?engine ~workload (Init.all_outlined schema)
 
-let greedy_si ?params ?workload_indexes ?updates ?threshold ~workload schema =
-  greedy ?params ?workload_indexes ?updates ?threshold
-    ~kinds:[ Space.K_outline ] ~workload (Init.all_inlined schema)
+let greedy_si ?params ?workload_indexes ?updates ?(kinds = [ Space.K_outline ])
+    ?threshold ?max_iterations ?memoize ?engine ~workload schema =
+  greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
+    ?memoize ?engine ~workload (Init.all_inlined schema)
 
 let pp_trace fmt trace =
   List.iter
@@ -114,58 +142,25 @@ let pp_trace fmt trace =
 (* A name-independent fingerprint of the relational configuration a
    schema maps to, used to prune transformation sequences that reach the
    same design through different step orders.  Fresh type names differ
-   between paths, so the fingerprint uses column shapes, not names. *)
+   between paths, so the fingerprint uses column shapes (with their full
+   statistics), not names — see Mapping.catalog_fingerprint. *)
 let fingerprint schema =
   match Mapping.of_pschema schema with
   | Error _ -> Xschema.to_string schema
-  | Ok m ->
-      let tables = m.Mapping.catalog.Legodb_relational.Rschema.tables in
-      let shape (t : Rschema.table) =
-        let cols =
-          List.filter_map
-            (fun (c : Rschema.column) ->
-              if
-                String.equal c.Rschema.cname t.Rschema.key
-                || List.mem_assoc c.Rschema.cname t.Rschema.fks
-              then None
-              else
-                Some
-                  (Printf.sprintf "%s:%s%s" c.Rschema.cname
-                     (Legodb_relational.Rtype.to_sql c.Rschema.ctype)
-                     (if c.Rschema.nullable then "?" else "")))
-            t.Rschema.columns
-        in
-        (* the cardinality distinguishes structurally symmetric tables
-           (outlining year from Played vs from Directed leaves identical
-           column shapes) *)
-        Printf.sprintf "[%s|%.0f]"
-          (String.concat "," (List.sort String.compare cols))
-          t.Rschema.card
-      in
-      let shapes =
-        List.map (fun (t : Rschema.table) -> (t.Rschema.tname, shape t)) tables
-      in
-      (* one Weisfeiler–Leman round: a table's label includes its
-         parents' shapes, separating e.g. "title outlined from Directed"
-         from "year outlined from Directed" (the bare column multisets
-         coincide) *)
-      tables
-      |> List.map (fun (t : Rschema.table) ->
-             let parents =
-               List.filter_map
-                 (fun (_, p) -> List.assoc_opt p shapes)
-                 t.Rschema.fks
-             in
-             shape t ^ "<" ^ String.concat "," (List.sort String.compare parents) ^ ">")
-      |> List.sort String.compare |> String.concat ";"
+  | Ok m -> Mapping.catalog_fingerprint m.Mapping.catalog
 
 let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ~workload schema =
-  let cost_of s =
-    match pschema_cost ?params ?workload_indexes ?updates ~workload s with
-    | c -> Some c
-    | exception Cost_error _ -> None
+    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?memoize ?engine
+    ~workload schema =
+  let eng =
+    match engine with
+    | Some e -> e
+    | None ->
+        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
+          ~workload ()
   in
+  let start = Cost_engine.snapshot eng in
+  let cost_of s = Cost_engine.cost_opt eng s in
   let initial_cost =
     match cost_of schema with
     | Some c -> c
@@ -176,11 +171,20 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
   let best = ref (schema, initial_cost) in
   let trace =
     ref
-      [ { iteration = 0; cost = initial_cost; step = None; tables = table_count schema } ]
+      [
+        {
+          iteration = 0;
+          cost = initial_cost;
+          step = None;
+          tables = table_count schema;
+          engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+        };
+      ]
   in
   let rec level i barren frontier =
     if i >= max_iterations || barren >= patience || frontier = [] then ()
     else begin
+      let before = Cost_engine.snapshot eng in
       (* configurations reached by commuting step orders collide: dedupe
          within the level, but blacklist globally only what the beam
          actually keeps — otherwise a discarded sibling blocks the path
@@ -224,6 +228,7 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
                 cost = c0;
                 step = Some step;
                 tables = table_count s0;
+                engine = Cost_engine.diff (Cost_engine.snapshot eng) before;
               }
               :: !trace
           end;
@@ -237,4 +242,9 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
   in
   level 0 0 [ (schema, initial_cost) ];
   let schema, cost = !best in
-  { schema; cost; trace = List.rev !trace }
+  {
+    schema;
+    cost;
+    trace = List.rev !trace;
+    engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+  }

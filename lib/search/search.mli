@@ -5,7 +5,12 @@
     optimizer ([GetPSchemaCost]) and moves to the cheapest neighbour,
     stopping when no step improves the cost (or when the improvement
     falls below a relative threshold, the optimization suggested in
-    Section 5.2). *)
+    Section 5.2).
+
+    All strategies evaluate configurations through {!Cost_engine}, so
+    per-query costs are memoized across neighbours and iterations; the
+    [engine] fields of {!trace_entry} and {!result} report how much
+    work the cache saved. *)
 
 open Legodb_xtype
 open Legodb_transform
@@ -13,7 +18,7 @@ open Legodb_transform
 exception Cost_error of string
 (** Raised when a configuration cannot be costed (mapping or
     translation failure) — indicates a schema outside the supported
-    fragment. *)
+    fragment.  The same exception as {!Cost_engine.Cost_error}. *)
 
 val pschema_cost :
   ?params:Legodb_optimizer.Cost.params ->
@@ -31,19 +36,28 @@ val pschema_cost :
     statements to the objective (Section 7's future-work extension):
     wider tables and deeper outlining both make writes more expensive,
     so update-heavy workloads pull the search toward fewer, narrower
-    tables. *)
+    tables.
+
+    This is the uncached reference implementation; an engine created by
+    {!Cost_engine.create} with the same arguments produces bit-identical
+    floats. *)
 
 type trace_entry = {
   iteration : int;
   cost : float;
   step : Space.step option;  (** [None] for the initial configuration *)
   tables : int;  (** size of the configuration's catalog *)
+  engine : Cost_engine.snapshot;
+      (** this iteration's engine work: configurations costed, cache
+          hits/misses, per-layer wall time (iteration 0 carries the
+          initial configuration's evaluation) *)
 }
 
 type result = {
   schema : Xschema.t;  (** the selected configuration *)
   cost : float;
   trace : trace_entry list;  (** iteration 0 first *)
+  engine : Cost_engine.snapshot;  (** whole-search engine totals *)
 }
 
 val greedy :
@@ -53,35 +67,59 @@ val greedy :
   ?kinds:Space.kind list ->
   ?threshold:float ->
   ?max_iterations:int ->
+  ?memoize:bool ->
+  ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
 (** Greedy descent from the given p-schema.  [kinds] defaults to
     {!Space.default_kinds} (inline/outline); [threshold] (default [0.])
     stops early when the relative improvement drops below it;
-    [max_iterations] defaults to 200. *)
+    [max_iterations] defaults to 200.  [~memoize:false] disables the
+    cost cache (reference mode for benchmarks; results are identical
+    either way).
+
+    [?engine] reuses an existing {!Cost_engine.t} instead of creating a
+    fresh one, so successive searches (a re-run after a workload tweak,
+    a beam pass after a greedy pass) share one cache and hit on every
+    configuration already costed.  The engine's own workload, updates
+    and parameters apply; [?params], [?workload_indexes], [?updates]
+    and [?memoize] are then ignored, and the caller must pass a
+    [~workload] consistent with the engine's.  The [engine] fields of
+    the result and trace report the {e delta} incurred by this search,
+    so they compose with a shared engine. *)
 
 val greedy_so :
   ?params:Legodb_optimizer.Cost.params ->
   ?workload_indexes:bool ->
   ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?kinds:Space.kind list ->
   ?threshold:float ->
+  ?max_iterations:int ->
+  ?memoize:bool ->
+  ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
 (** The paper's [greedy-so]: start from the all-outlined configuration
-    and explore inlining steps. *)
+    and explore inlining steps ([kinds] defaults to [[K_inline]]).
+    All optional arguments are forwarded to {!greedy}. *)
 
 val greedy_si :
   ?params:Legodb_optimizer.Cost.params ->
   ?workload_indexes:bool ->
   ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?kinds:Space.kind list ->
   ?threshold:float ->
+  ?max_iterations:int ->
+  ?memoize:bool ->
+  ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
 (** The paper's [greedy-si]: start from the all-inlined configuration
-    and explore outlining steps. *)
+    and explore outlining steps ([kinds] defaults to [[K_outline]]).
+    All optional arguments are forwarded to {!greedy}. *)
 
 val pp_trace : Format.formatter -> trace_entry list -> unit
 
@@ -93,13 +131,16 @@ val beam :
   ?width:int ->
   ?patience:int ->
   ?max_iterations:int ->
+  ?memoize:bool ->
+  ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
 (** Beam search over transformation sequences (the "dynamic programming
     search strategies" of Section 7's future work): keeps the [width]
     (default 4) cheapest {e distinct} configurations per level —
-    distinctness judged by a name-independent fingerprint of the mapped
-    catalog — and can therefore cross small cost hills the greedy
-    descent cannot (it stops after [patience] levels without
-    improvement, default 3).  Returns the best configuration seen. *)
+    distinctness judged by {!Mapping.catalog_fingerprint}, which is
+    independent of the fresh type names a step order generates — and
+    can therefore cross small cost hills the greedy descent cannot (it
+    stops after [patience] levels without improvement, default 3).
+    Returns the best configuration seen. *)

@@ -19,6 +19,7 @@ let () =
       ("shred", Test_shred.suite);
       ("shred-ordered", Test_shred.ordered_suite);
       ("search", Test_search.suite);
+      ("cost-engine", Test_cost_engine.suite);
       ("updates", Test_updates.suite);
       ("beam", Test_search.beam_suite);
       ("integration", Test_integration.suite);

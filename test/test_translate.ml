@@ -181,4 +181,41 @@ let suite =
         let q = Xq_translate.translate m (Imdb.Queries.q 16) in
         let stmts = Logical.query_to_sql q in
         check_int "stmt per block" (List.length q.Logical.blocks) (List.length stmts));
+    case "touched tables: lookups name their access path" (fun () ->
+        let m = Lazy.force m_inlined in
+        let touched n =
+          let _, tabs = Xq_translate.translate_with_tables m (Imdb.Queries.q n) in
+          List.sort_uniq compare tabs
+        in
+        Alcotest.(check (list string)) "Q1" [ "IMDB"; "Show" ] (touched 1);
+        Alcotest.(check (list string)) "Q8" [ "Actor"; "IMDB" ] (touched 8);
+        Alcotest.(check (list string)) "Q13"
+          [ "Actor"; "Aka"; "Directed"; "Director"; "IMDB"; "Played"; "Show" ]
+          (touched 13);
+        Alcotest.(check (list string)) "Q16"
+          [ "Aka"; "Episodes"; "IMDB"; "Reviews"; "Show" ]
+          (touched 16));
+    case "touched tables: updates name the written subtree" (fun () ->
+        let m = Lazy.force m_inlined in
+        let ins = Xq_parse.parse_update ~name:"ins" "INSERT imdb/actor" in
+        let _, tabs = Xq_translate.translate_update_with_tables m ins in
+        Alcotest.(check (list string)) "INSERT imdb/actor"
+          [ "Actor"; "Award"; "Played" ]
+          (List.sort_uniq compare tabs));
+    case "touched tables agree with the blocks' relations" (fun () ->
+        List.iter
+          (fun m ->
+            List.iter
+              (fun q ->
+                match Xq_translate.translate_with_tables m q with
+                | lq, tabs ->
+                    List.iter
+                      (fun b ->
+                        List.iter
+                          (fun t -> check_bool t true (List.mem t tabs))
+                          (tables_of b))
+                      lq.Logical.blocks
+                | exception Xq_translate.Untranslatable _ -> ())
+              Imdb.Queries.all)
+          [ Lazy.force m_inlined; Lazy.force m_outlined ]);
   ]
