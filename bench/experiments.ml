@@ -454,8 +454,33 @@ let ablation () =
    neighbours and iterations), [rerun] repeats the search on the warm
    engine (the incremental re-tuning scenario: every configuration the
    search visits is already cached).  All three must agree bit for bit
-   on the selected cost — the cache is pure memoization. *)
-let search_perf () =
+   on the selected cost — the cache is pure memoization.
+
+   The jobs sweep then re-runs the cold mixed-workload search with
+   parallel neighbor costing at each [-j] value, asserting the selected
+   schema, cost, and trace are bit-identical throughout ([--smoke] mode
+   runs only the sweep, on greedy_si, for CI).  The >= 1.5x speedup
+   check only fires where it can physically hold: domains backend, 4+
+   recommended cores, and a sweep reaching 4 jobs. *)
+
+(* trace equality up to engine counters: wall-clock timers (and, with
+   jobs > 1, hit/miss splits) legitimately differ between runs *)
+let same_trace a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Search.trace_entry) (y : Search.trace_entry) ->
+         x.Search.iteration = y.Search.iteration
+         && Float.equal x.Search.cost y.Search.cost
+         && x.Search.tables = y.Search.tables
+         && Option.equal
+              (fun s s' ->
+                String.equal
+                  (Format.asprintf "%a" Space.pp_step s)
+                  (Format.asprintf "%a" Space.pp_step s'))
+              x.Search.step y.Search.step)
+       a b
+
+let search_perf ?(jobs = 1) ?(smoke = false) () =
   print_endline
     "\nSearch wall-clock vs. cost-engine caching\n\
      =========================================";
@@ -495,7 +520,8 @@ let search_perf () =
     Buffer.add_string buf
       (Printf.sprintf
          "\n\
-          \  {\"strategy\": \"%s\", \"workload\": \"%s\", \"cost\": %.1f,\n\
+          \  {\"kind\": \"cache\", \"strategy\": \"%s\", \"workload\": \
+          \"%s\", \"cost\": %.1f,\n\
           \   \"configs_costed\": %d, \"hits\": %d, \"misses\": %d, \
           \"hit_rate\": %.3f,\n\
           \   \"cold_s\": %.4f, \"first_s\": %.4f, \"rerun_s\": %.4f,\n\
@@ -506,22 +532,105 @@ let search_perf () =
          t_cold t_first t_rerun (t_cold /. t_first) (t_cold /. t_rerun)
          (Cost_engine.hit_rate e2))
   in
+  if not smoke then
+    List.iter
+      (fun (wname, workload) ->
+        row ~strategy:"greedy_si" ~wname ~workload (fun ~engine ~memoize ->
+            Search.greedy_si ~params ?memoize ?engine ~workload schema);
+        row ~strategy:"beam" ~wname ~workload (fun ~engine ~memoize ->
+            Search.beam ~params ?memoize ?engine ~workload
+              (Init.all_inlined schema)))
+      [
+        ("lookup", Imdb.Workloads.lookup);
+        ("publish", Imdb.Workloads.publish);
+        ("mixed", Imdb.Workloads.mixed 0.5);
+      ]
+  else ignore row;
+
+  (* ---- parallel neighbor costing: the jobs sweep ---- *)
+  let sweep =
+    List.sort_uniq compare
+      (List.filter (fun j -> j >= 1) (if smoke then [ 1; jobs ] else [ 1; 2; 4; jobs ]))
+  in
+  Printf.printf
+    "\nParallel neighbor costing on the cold mixed workload (backend %s, %d \
+     recommended cores)\n"
+    Par.backend (Par.default_jobs ());
+  let workload = Imdb.Workloads.mixed 0.5 in
+  let strategies =
+    ( "greedy_si",
+      fun j -> Search.greedy_si ~params ~jobs:j ~workload schema )
+    ::
+    (if smoke then []
+     else
+       [
+         ( "beam",
+           fun j ->
+             Search.beam ~params ~jobs:j ~workload (Init.all_inlined schema) );
+       ])
+  in
   List.iter
-    (fun (wname, workload) ->
-      row ~strategy:"greedy_si" ~wname ~workload (fun ~engine ~memoize ->
-          Search.greedy_si ~params ?memoize ?engine ~workload schema);
-      row ~strategy:"beam" ~wname ~workload (fun ~engine ~memoize ->
-          Search.beam ~params ?memoize ?engine ~workload
-            (Init.all_inlined schema)))
-    [
-      ("lookup", Imdb.Workloads.lookup);
-      ("publish", Imdb.Workloads.publish);
-      ("mixed", Imdb.Workloads.mixed 0.5);
-    ];
+    (fun (sname, run) ->
+      let results = List.map (fun j -> let r, t = time (fun () -> run j) in (j, r, t)) sweep in
+      let _, base, t1 =
+        List.find (fun (j, _, _) -> j = 1) results
+      in
+      List.iter
+        (fun (j, (r : Search.result), t) ->
+          if not (Float.equal r.Search.cost base.Search.cost) then
+            failwith
+              (Printf.sprintf
+                 "search_perf: %s -j %d cost diverges from -j 1 (%h vs %h)"
+                 sname j r.Search.cost base.Search.cost);
+          if
+            not
+              (String.equal
+                 (Xschema.to_string r.Search.schema)
+                 (Xschema.to_string base.Search.schema))
+          then
+            failwith
+              (Printf.sprintf
+                 "search_perf: %s -j %d selects a different schema" sname j);
+          if not (same_trace r.Search.trace base.Search.trace) then
+            failwith
+              (Printf.sprintf "search_perf: %s -j %d trace diverges" sname j);
+          let sp = t1 /. t in
+          Printf.printf "%-9s -j %-3d  %7.3fs  speedup %5.2fx%s\n%!" sname j t
+            sp
+            (if j = 1 then " (baseline)" else "");
+          if not !first_row then Buffer.add_string buf ",";
+          first_row := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n\
+                \  {\"kind\": \"jobs_sweep\", \"strategy\": \"%s\", \
+                \"workload\": \"mixed\", \"backend\": \"%s\", \"jobs\": %d, \
+                \"cost\": %.1f, \"wall_s\": %.4f, \"speedup_vs_j1\": %.2f}"
+               sname Par.backend j r.Search.cost t sp))
+        results;
+      (* the wall-clock claim, asserted where it can physically hold *)
+      let jmax = List.fold_left max 1 sweep in
+      if
+        (not smoke) && Par.available
+        && Par.default_jobs () >= 4
+        && jmax >= 4
+        && String.equal sname "greedy_si"
+      then begin
+        let _, _, tmax = List.find (fun (j, _, _) -> j = jmax) results in
+        let sp = t1 /. tmax in
+        if sp < 1.5 then
+          failwith
+            (Printf.sprintf
+               "search_perf: -j %d speedup %.2fx < 1.5x on %d-core hardware"
+               jmax sp (Par.default_jobs ()))
+      end)
+    strategies;
   Buffer.add_string buf "\n]\n";
   print_newline ();
   print_string (Buffer.contents buf);
-  let oc = open_out "BENCH_search_perf.json" in
-  output_string oc (Buffer.contents buf);
-  close_out oc;
-  print_endline "[wrote BENCH_search_perf.json]"
+  if not smoke then begin
+    let oc = open_out "BENCH_search_perf.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "[wrote BENCH_search_perf.json]"
+  end

@@ -86,7 +86,7 @@ let micro () =
       else Printf.printf "%-42s %10.0f ns/run\n" name est)
     (List.sort compare rows)
 
-let experiments =
+let experiments ~jobs ~smoke =
   [
     ("fig6", Experiments.fig6);
     ("fig10", Experiments.fig10);
@@ -95,13 +95,34 @@ let experiments =
     ("fig14", Experiments.fig14);
     ("table2", Experiments.table2);
     ("ablation", Experiments.ablation);
-    ("search_perf", Experiments.search_perf);
+    ("search_perf", fun () -> Experiments.search_perf ~jobs ~smoke ());
     ("micro", micro);
   ]
 
+let usage = "usage: main.exe [-j N] [--smoke] [experiment ...]"
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let to_run = match args with [] -> List.map fst experiments | names -> names in
+  (* flags: [-j N] sets the parallel jobs for search_perf's sweep,
+     [--smoke] trims search_perf to the CI determinism check *)
+  let rec parse (names, jobs, smoke) = function
+    | [] -> (List.rev names, jobs, smoke)
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j -> parse (names, j, smoke) rest
+        | None ->
+            Printf.eprintf "-j needs an integer, got %s\n%s\n" n usage;
+            exit 2)
+    | [ "-j" ] ->
+        Printf.eprintf "-j needs an integer\n%s\n" usage;
+        exit 2
+    | "--smoke" :: rest -> parse (names, jobs, true) rest
+    | x :: rest -> parse (x :: names, jobs, smoke) rest
+  in
+  let names, jobs, smoke =
+    parse ([], 1, false) (List.tl (Array.to_list Sys.argv))
+  in
+  let experiments = experiments ~jobs ~smoke in
+  let to_run = match names with [] -> List.map fst experiments | names -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with

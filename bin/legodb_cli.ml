@@ -126,7 +126,15 @@ let design_cmd =
     let doc = "Assume indexes on workload equality columns." in
     Arg.(value & flag & info [ "workload-indexes" ] ~doc)
   in
-  let run schema_name sample workload strategy threshold indexes =
+  let jobs =
+    let doc =
+      "Cost the neighbor configurations of each search iteration on $(docv) \
+       cores (0 = one per core).  The selected design is bit-identical for \
+       every value; requires an OCaml 5 build for actual parallelism."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run schema_name sample workload strategy threshold indexes jobs =
     match schema_of_name schema_name with
     | Error m -> fail "%s" m
     | Ok schema -> (
@@ -140,11 +148,11 @@ let design_cmd =
               | "si" ->
                   Ok
                     (Search.greedy_si ~workload_indexes:indexes ~threshold
-                       ~workload:w)
+                       ~jobs ~workload:w)
               | "so" ->
                   Ok
                     (Search.greedy_so ~workload_indexes:indexes ~threshold
-                       ~workload:w)
+                       ~jobs ~workload:w)
               | s -> Error (Printf.sprintf "unknown strategy %S" s)
             in
             match search with
@@ -168,7 +176,7 @@ let design_cmd =
     Term.(
       ret
         (const run $ schema_arg $ sample_arg $ workload_arg $ strategy
-       $ threshold $ indexes))
+       $ threshold $ indexes $ jobs))
   in
   Cmd.v
     (Cmd.info "design"

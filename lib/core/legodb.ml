@@ -38,6 +38,7 @@ module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
+module Par = Legodb_search.Par
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema
@@ -57,13 +58,15 @@ type design = {
 
 type strategy = Greedy_si | Greedy_so
 
-let design ?(strategy = Greedy_si) ?params ?threshold ~schema ~stats ~workload
-    () =
+let design ?(strategy = Greedy_si) ?params ?threshold ?jobs ~schema ~stats
+    ~workload () =
   let annotated = Annotate.schema stats schema in
   let result =
     match strategy with
-    | Greedy_si -> Search.greedy_si ?params ?threshold ~workload annotated
-    | Greedy_so -> Search.greedy_so ?params ?threshold ~workload annotated
+    | Greedy_si ->
+        Search.greedy_si ?params ?threshold ?jobs ~workload annotated
+    | Greedy_so ->
+        Search.greedy_so ?params ?threshold ?jobs ~workload annotated
   in
   match Mapping.of_pschema result.Search.schema with
   | Ok mapping ->
@@ -79,9 +82,10 @@ let design ?(strategy = Greedy_si) ?params ?threshold ~schema ~stats ~workload
         ("Legodb.design: selected schema failed to map: "
         ^ String.concat "; " es)
 
-let design_of_xml ?strategy ?params ?threshold ~schema ~document ~workload () =
+let design_of_xml ?strategy ?params ?threshold ?jobs ~schema ~document
+    ~workload () =
   let stats = Collector.collect document in
-  design ?strategy ?params ?threshold ~schema ~stats ~workload ()
+  design ?strategy ?params ?threshold ?jobs ~schema ~stats ~workload ()
 
 let report fmt d =
   Format.fprintf fmt "-- LegoDB storage design --@.";

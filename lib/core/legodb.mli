@@ -52,6 +52,7 @@ module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
+module Par = Legodb_search.Par
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig
@@ -82,13 +83,17 @@ val design :
   ?strategy:strategy ->
   ?params:Cost.params ->
   ?threshold:float ->
+  ?jobs:int ->
   schema:Xschema.t ->
   stats:Pathstat.t ->
   workload:Workload.t ->
   unit ->
   design
 (** Annotate the schema with the statistics, run the greedy search, and
-    return the chosen configuration.
+    return the chosen configuration.  [?jobs] costs the neighbor
+    configurations of each search iteration on that many cores
+    ([0] = one per core; see {!Search.greedy}) — the selected design is
+    bit-identical for every value.
     @raise Search.Cost_error if no configuration can be costed.
     @raise Invalid_argument on internal mapping failure. *)
 
@@ -96,6 +101,7 @@ val design_of_xml :
   ?strategy:strategy ->
   ?params:Cost.params ->
   ?threshold:float ->
+  ?jobs:int ->
   schema:Xschema.t ->
   document:Xml.t ->
   workload:Workload.t ->

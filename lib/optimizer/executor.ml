@@ -120,15 +120,26 @@ let rec eval st plan : tuple list =
           let key_of cols tuple =
             List.map (fun c -> value_of st tuple tables c) cols
           in
+          (* SQL join semantics: NULL compares equal to nothing, so a
+             NULL-keyed tuple can never match.  The hash table compares
+             keys structurally (V_null = V_null), so NULL-keyed tuples
+             must be skipped on both sides or hash joins would return
+             rows the other join methods reject through eval_cmp. *)
+          let null_key = List.exists Rtype.is_null in
           let lcols = List.map fst conds and rcols = List.map snd conds in
           let index = Hashtbl.create (List.length rtuples) in
           List.iter
-            (fun rt -> Hashtbl.add index (key_of rcols rt) rt)
+            (fun rt ->
+              let k = key_of rcols rt in
+              if not (null_key k) then Hashtbl.add index k rt)
             rtuples;
           List.fold_left
             (fun acc lt ->
-              let matches = Hashtbl.find_all index (key_of lcols lt) in
-              List.fold_left (fun acc rt -> emit acc (lt @ rt)) acc matches)
+              let k = key_of lcols lt in
+              if null_key k then acc
+              else
+                let matches = Hashtbl.find_all index k in
+                List.fold_left (fun acc rt -> emit acc (lt @ rt)) acc matches)
             [] ltuples
           |> List.rev
       | Physical.Index_nl { column } -> (
@@ -148,30 +159,38 @@ let rec eval st plan : tuple list =
                   List.fold_left
                     (fun acc lt ->
                       let v = value_of st lt tables lcol in
-                      st.m <- { st.m with index_probes = st.m.index_probes + 1 };
-                      let rows =
-                        Storage.lookup st.db ~table:rel.Logical.table ~column v
-                      in
-                      List.fold_left
-                        (fun acc row ->
-                          st.m <-
-                            {
-                              st.m with
-                              bytes_read = st.m.bytes_read +. row_bytes row;
-                            };
-                          let rt = [ (rel.Logical.alias, row) ] in
-                          let tuple = lt @ rt in
-                          let ok =
-                            List.for_all (eval_pred st tables rt) filters
-                            && List.for_all
-                                 (fun (lc, rc) ->
-                                   eval_cmp Logical.C_eq
-                                     (value_of st tuple tables lc)
-                                     (value_of st tuple tables rc))
-                                 rest_conds
-                          in
-                          if ok then emit acc tuple else acc)
-                        acc rows)
+                      (* the probe condition is delegated to the index,
+                         which finds V_null = V_null structurally: a
+                         NULL probe key must not probe at all *)
+                      if Rtype.is_null v then acc
+                      else begin
+                        st.m <-
+                          { st.m with index_probes = st.m.index_probes + 1 };
+                        let rows =
+                          Storage.lookup st.db ~table:rel.Logical.table ~column
+                            v
+                        in
+                        List.fold_left
+                          (fun acc row ->
+                            st.m <-
+                              {
+                                st.m with
+                                bytes_read = st.m.bytes_read +. row_bytes row;
+                              };
+                            let rt = [ (rel.Logical.alias, row) ] in
+                            let tuple = lt @ rt in
+                            let ok =
+                              List.for_all (eval_pred st tables rt) filters
+                              && List.for_all
+                                   (fun (lc, rc) ->
+                                     eval_cmp Logical.C_eq
+                                       (value_of st tuple tables lc)
+                                       (value_of st tuple tables rc))
+                                   rest_conds
+                            in
+                            if ok then emit acc tuple else acc)
+                          acc rows
+                      end)
                     [] ltuples
                   |> List.rev)
           | Physical.Join _ ->
@@ -215,15 +234,21 @@ let run_block db plan out =
   (rows, { st.m with output_rows = List.length rows })
 
 let run_query db blocks =
-  List.fold_left
-    (fun (rows, m) (plan, out) ->
-      let r, m' = run_block db plan out in
-      ( rows @ r,
-        {
-          tuples_scanned = m.tuples_scanned + m'.tuples_scanned;
-          index_probes = m.index_probes + m'.index_probes;
-          join_tuples = m.join_tuples + m'.join_tuples;
-          bytes_read = m.bytes_read +. m'.bytes_read;
-          output_rows = m.output_rows + m'.output_rows;
-        } ))
-    ([], zero_measures) blocks
+  (* reverse-accumulate: [rows @ r] per block is quadratic in the
+     output size across the many outer-union blocks a published
+     subtree generates *)
+  let rev_rows, m =
+    List.fold_left
+      (fun (rows, m) (plan, out) ->
+        let r, m' = run_block db plan out in
+        ( List.rev_append r rows,
+          {
+            tuples_scanned = m.tuples_scanned + m'.tuples_scanned;
+            index_probes = m.index_probes + m'.index_probes;
+            join_tuples = m.join_tuples + m'.join_tuples;
+            bytes_read = m.bytes_read +. m'.bytes_read;
+            output_rows = m.output_rows + m'.output_rows;
+          } ))
+      ([], zero_measures) blocks
+  in
+  (List.rev rev_rows, m)

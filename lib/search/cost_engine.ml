@@ -25,6 +25,27 @@ let empty_snapshot =
     t_optimize = 0.;
   }
 
+(* the mutable counter block, shared in shape between the engine proper
+   and its worker shards so both feed the same costing code *)
+type counters = {
+  mutable evaluations : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable t_mapping : float;
+  mutable t_translate : float;
+  mutable t_optimize : float;
+}
+
+let fresh_counters () =
+  {
+    evaluations = 0;
+    hits = 0;
+    misses = 0;
+    t_mapping = 0.;
+    t_translate = 0.;
+    t_optimize = 0.;
+  }
+
 type t = {
   params : Cost.params option;
   workload_indexes : bool;
@@ -33,12 +54,13 @@ type t = {
   memoize : bool;
   oracle : bool;
   cache : (string, float) Hashtbl.t;
-  mutable evaluations : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable t_mapping : float;
-  mutable t_translate : float;
-  mutable t_optimize : float;
+  c : counters;
+}
+
+type shard = {
+  base : t;
+  fresh : (string, float) Hashtbl.t;
+  sc : counters;
 }
 
 let create ?params ?(workload_indexes = false) ?(updates = [])
@@ -51,12 +73,7 @@ let create ?params ?(workload_indexes = false) ?(updates = [])
     memoize;
     oracle;
     cache = Hashtbl.create 256;
-    evaluations = 0;
-    hits = 0;
-    misses = 0;
-    t_mapping = 0.;
-    t_translate = 0.;
-    t_optimize = 0.;
+    c = fresh_counters ();
   }
 
 let now = Unix.gettimeofday
@@ -74,15 +91,19 @@ let key ~kind ~index fps tables =
   Printf.sprintf "%c%d|%s" kind index
     (String.concat "\x00" (List.sort String.compare (List.map fp tables)))
 
-let cost t schema =
-  t.evaluations <- t.evaluations + 1;
+(* One costing pass, generic over where cache lookups/insertions and
+   counter bumps land: the engine itself ([cost]) or a worker shard
+   ([shard_cost]).  Keeping a single body is what guarantees the
+   sequential and sharded paths price a configuration identically. *)
+let cost_into ~find ~add (t : t) (c : counters) schema =
+  c.evaluations <- c.evaluations + 1;
   let t0 = now () in
   let m =
     match Mapping.of_pschema schema with
     | Error es -> raise (Cost_error (String.concat "; " es))
     | Ok m -> m
   in
-  t.t_mapping <- t.t_mapping +. (now () -. t0);
+  c.t_mapping <- c.t_mapping +. (now () -. t0);
   let t1 = now () in
   let queries, updates =
     match
@@ -96,7 +117,7 @@ let cost t schema =
     | qs, us -> (qs, us)
     | exception Xq_translate.Untranslatable msg -> raise (Cost_error msg)
   in
-  t.t_translate <- t.t_translate +. (now () -. t1);
+  c.t_translate <- c.t_translate +. (now () -. t1);
   let catalog =
     if t.workload_indexes then
       Rschema.add_indexes m.Mapping.catalog
@@ -110,68 +131,121 @@ let cost t schema =
   let costed kind index tables fresh =
     let compute () =
       let t2 = now () in
-      let c = fresh () in
-      t.t_optimize <- t.t_optimize +. (now () -. t2);
-      c
+      let v = fresh () in
+      c.t_optimize <- c.t_optimize +. (now () -. t2);
+      v
     in
     if not t.memoize then compute ()
     else
       let k = key ~kind ~index (Lazy.force fps) tables in
-      match Hashtbl.find_opt t.cache k with
-      | Some c ->
+      match find k with
+      | Some v ->
           if t.oracle then begin
-            let fresh_c = compute () in
-            if not (Float.equal c fresh_c) then
+            let fresh_v = compute () in
+            if not (Float.equal v fresh_v) then
               invalid_arg
                 (Printf.sprintf
                    "Cost_engine: cache divergence on statement %c%d (cached \
                     %h, fresh %h)"
-                   kind index c fresh_c)
+                   kind index v fresh_v)
           end;
-          t.hits <- t.hits + 1;
-          c
+          c.hits <- c.hits + 1;
+          v
       | None ->
-          let c = compute () in
-          t.misses <- t.misses + 1;
-          Hashtbl.replace t.cache k c;
-          c
+          let v = compute () in
+          c.misses <- c.misses + 1;
+          add k v;
+          v
   in
   (* exactly Optimizer.mixed_workload_cost's summation order, so a warm
      engine and a cold cost agree bit for bit *)
   let total = ref 0. in
   Array.iteri
     (fun i ((q, tables), weight) ->
-      let c =
+      let v =
         costed 'q' i tables (fun () ->
             Optimizer.query_scalar_cost ?params:t.params catalog q)
       in
-      total := !total +. (weight *. c))
+      total := !total +. (weight *. v))
     queries;
   let wtotal = ref 0. in
   Array.iteri
     (fun i ((u, tables), weight) ->
-      let c =
+      let v =
         costed 'u' i tables (fun () ->
             Optimizer.write_cost ?params:t.params catalog u)
       in
-      wtotal := !wtotal +. (weight *. c))
+      wtotal := !wtotal +. (weight *. v))
     updates;
   !total +. !wtotal
+
+let cost t schema =
+  cost_into
+    ~find:(fun k -> Hashtbl.find_opt t.cache k)
+    ~add:(fun k v -> Hashtbl.replace t.cache k v)
+    t t.c schema
 
 let cost_opt t schema =
   match cost t schema with c -> Some c | exception Cost_error _ -> None
 
-let snapshot t =
+(* ------------------------------------------------------------------ *)
+(* worker shards                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shard t = { base = t; fresh = Hashtbl.create 64; sc = fresh_counters () }
+
+let shard_cost sh schema =
+  cost_into
+    ~find:(fun k ->
+      match Hashtbl.find_opt sh.fresh k with
+      | Some _ as r -> r
+      | None -> Hashtbl.find_opt sh.base.cache k)
+    ~add:(fun k v -> Hashtbl.replace sh.fresh k v)
+    sh.base sh.sc schema
+
+let shard_cost_opt sh schema =
+  match shard_cost sh schema with
+  | c -> Some c
+  | exception Cost_error _ -> None
+
+let merge t shards =
+  List.iter
+    (fun sh ->
+      if sh.base != t then
+        invalid_arg "Cost_engine.merge: shard belongs to a different engine";
+      Hashtbl.iter
+        (fun k v -> if not (Hashtbl.mem t.cache k) then Hashtbl.add t.cache k v)
+        sh.fresh;
+      t.c.evaluations <- t.c.evaluations + sh.sc.evaluations;
+      t.c.hits <- t.c.hits + sh.sc.hits;
+      t.c.misses <- t.c.misses + sh.sc.misses;
+      t.c.t_mapping <- t.c.t_mapping +. sh.sc.t_mapping;
+      t.c.t_translate <- t.c.t_translate +. sh.sc.t_translate;
+      t.c.t_optimize <- t.c.t_optimize +. sh.sc.t_optimize;
+      (* a consumed shard must not contribute twice *)
+      Hashtbl.reset sh.fresh;
+      sh.sc.evaluations <- 0;
+      sh.sc.hits <- 0;
+      sh.sc.misses <- 0;
+      sh.sc.t_mapping <- 0.;
+      sh.sc.t_translate <- 0.;
+      sh.sc.t_optimize <- 0.)
+    shards
+
+let snapshot_of (c : counters) : snapshot =
   {
-    evaluations = t.evaluations;
-    hits = t.hits;
-    misses = t.misses;
-    t_mapping = t.t_mapping;
-    t_translate = t.t_translate;
-    t_optimize = t.t_optimize;
+    evaluations = c.evaluations;
+    hits = c.hits;
+    misses = c.misses;
+    t_mapping = c.t_mapping;
+    t_translate = c.t_translate;
+    t_optimize = c.t_optimize;
   }
 
-let diff (a : snapshot) (b : snapshot) =
+let snapshot t = snapshot_of t.c
+let shard_snapshot sh = snapshot_of sh.sc
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
   {
     evaluations = a.evaluations - b.evaluations;
     hits = a.hits - b.hits;

@@ -61,6 +61,46 @@ val cost : t -> Legodb_xtype.Xschema.t -> float
 val cost_opt : t -> Legodb_xtype.Xschema.t -> float option
 (** [cost] with {!Cost_error} mapped to [None]. *)
 
+(** {1 Worker shards}
+
+    Parallel neighbor costing ({!Search.greedy} and friends with
+    [~jobs] > 1) gives each concurrent chunk of candidates a {!shard}:
+    a view of the engine that {e reads} the shared cache — which no one
+    writes while shards are live — and records its own new entries and
+    counters privately.  At the iteration barrier {!merge} folds the
+    shards back in a caller-chosen (chunk) order, so the merged cache
+    and counters depend only on the chunking, never on scheduling.
+    Because the cache is pure memoization, shard-computed costs are
+    bit-identical to sequential ones whatever the interleaving. *)
+
+type shard
+
+val shard : t -> shard
+(** A fresh shard of [t].  Between creating a batch of shards and
+    {!merge}-ing them, cost configurations only through the shards (or
+    concurrently reading [t] via {!snapshot}); do not call {!cost} on
+    [t] itself, which would write the shared cache under the readers. *)
+
+val shard_cost : shard -> Legodb_xtype.Xschema.t -> float
+(** {!cost} against the shard's view: hits come from the shard's own
+    new entries or the shared cache; misses are recorded privately.
+    @raise Cost_error when the configuration cannot be costed. *)
+
+val shard_cost_opt : shard -> Legodb_xtype.Xschema.t -> float option
+(** [shard_cost] with {!Cost_error} mapped to [None]. *)
+
+val shard_snapshot : shard -> snapshot
+(** The shard's private counters (zeroed again by {!merge}). *)
+
+val merge : t -> shard list -> unit
+(** Fold the shards' new cache entries and counters into the engine, in
+    list order: entries already present (seeded by an earlier shard in
+    the list) keep their first value — the floats are identical anyway
+    — and counters are summed left to right, so the result is
+    deterministic for a fixed chunking.  Consumes the shards: their
+    private state is reset so a double [merge] cannot double-count.
+    @raise Invalid_argument on a shard of a different engine. *)
+
 val snapshot : t -> snapshot
 (** Cumulative counters since [create]. *)
 

@@ -1,0 +1,32 @@
+(** Parallel evaluation backend for the search loop.
+
+    The implementation is selected at build time (dune [select]):
+    [par_domains.ml] runs thunks on a pool of [Domain]s on OCaml >= 5
+    — the selection is keyed on the [runtime_events] library, which
+    ships with the compiler from 5.0 — and [par_seq.ml] is the
+    sequential fallback for 4.14.
+
+    The contract is deliberately small: callers split their work into
+    at most [jobs] order-preserving chunks and submit one thunk per
+    chunk; {!run_list} only promises the results back in submission
+    order.  Everything that makes parallel search deterministic (static
+    chunking, per-chunk {!Cost_engine} shards, ordered merges) lives in
+    the caller, so both backends drive the identical reduction code. *)
+
+val backend : string
+(** ["domains"] or ["sequential"] — which implementation was built. *)
+
+val available : bool
+(** [true] iff {!run_list} can actually overlap thunk execution. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on the domains backend, [1]
+    on the sequential one.  What a [~jobs:0] request resolves to. *)
+
+val run_list : (unit -> 'a) list -> 'a list
+(** Run the thunks — concurrently on the domains backend, left to
+    right on the sequential one — and return their results in
+    submission order.  The calling domain executes the first thunk
+    itself, so [n] thunks occupy at most [n] cores.  If any thunk
+    raises, the whole call raises the leftmost failing thunk's
+    exception (with its backtrace) after every thunk has settled. *)

@@ -1,0 +1,114 @@
+(* Domain-pool backend, selected on OCaml >= 5 (see par.mli).
+
+   A small global worker pool: domains are spawned lazily the first
+   time a fan-out needs them and reused for every later iteration, so
+   per-iteration overhead is one queue push/pop per chunk rather than a
+   Domain.spawn.  Workers idle on a condition variable; an [at_exit]
+   hook wakes and joins them so the runtime's end-of-program domain
+   join does not hang on the pool. *)
+
+let backend = "domains"
+let available = true
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* the runtime caps live domains at 128; leave headroom for the main
+   domain and any the application spawns itself *)
+let max_workers = 120
+
+let m = Mutex.create ()
+let work_available = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let workers : unit Domain.t list ref = ref []
+let worker_count = ref 0
+let shutting_down = ref false
+
+let rec worker () =
+  Mutex.lock m;
+  let rec wait () =
+    if !shutting_down then None
+    else
+      match Queue.take_opt queue with
+      | Some t -> Some t
+      | None ->
+          Condition.wait work_available m;
+          wait ()
+  in
+  let task = wait () in
+  Mutex.unlock m;
+  match task with
+  | None -> ()
+  | Some t ->
+      t ();
+      worker ()
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock m;
+      shutting_down := true;
+      Condition.broadcast work_available;
+      Mutex.unlock m;
+      List.iter Domain.join !workers;
+      workers := [])
+
+let ensure_workers n =
+  let n = min n max_workers in
+  Mutex.lock m;
+  while !worker_count < n && not !shutting_down do
+    incr worker_count;
+    workers := Domain.spawn worker :: !workers
+  done;
+  Mutex.unlock m
+
+let run_list (fs : (unit -> 'a) list) : 'a list =
+  match fs with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | f0 :: rest ->
+      let n = List.length rest in
+      ensure_workers n;
+      (* each task writes its slot and decrements [pending] under the
+         completion lock, which is also what publishes the slot write
+         to the caller (lock acquire/release orders the accesses) *)
+      let results : ('a, exn * Printexc.raw_backtrace) result option array =
+        Array.make n None
+      in
+      let pending = ref n in
+      let fin_m = Mutex.create () in
+      let fin_c = Condition.create () in
+      Mutex.lock m;
+      List.iteri
+        (fun i f ->
+          Queue.add
+            (fun () ->
+              let r =
+                try Ok (f ())
+                with e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Mutex.lock fin_m;
+              results.(i) <- Some r;
+              decr pending;
+              if !pending = 0 then Condition.signal fin_c;
+              Mutex.unlock fin_m)
+            queue)
+        rest;
+      Condition.broadcast work_available;
+      Mutex.unlock m;
+      (* the caller is a worker too: it runs the first chunk while the
+         pool drains the rest *)
+      let r0 =
+        try Ok (f0 ()) with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.lock fin_m;
+      while !pending > 0 do
+        Condition.wait fin_c fin_m
+      done;
+      Mutex.unlock fin_m;
+      let settled =
+        r0 :: List.map Option.get (Array.to_list results)
+      in
+      List.iter
+        (function
+          | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Ok _ -> ())
+        settled;
+      List.map (function Ok v -> v | Error _ -> assert false) settled

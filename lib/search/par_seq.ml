@@ -1,0 +1,7 @@
+(* Sequential fallback, selected when the compiler has no Domain
+   support (OCaml 4.14 — see par.mli).  Must stay 4.14-compatible. *)
+
+let backend = "sequential"
+let available = false
+let default_jobs () = 1
+let run_list fs = List.map (fun f -> f ()) fs

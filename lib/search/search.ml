@@ -1,31 +1,90 @@
 open Legodb_xtype
 open Legodb_transform
-open Legodb_relational
 module Mapping = Legodb_mapping.Mapping
-module Xq_translate = Legodb_mapping.Xq_translate
 
 exception Cost_error = Cost_engine.Cost_error
 
-let pschema_cost ?params ?(workload_indexes = false)
-    ?(updates = ([] : (Legodb_xquery.Xq_ast.update * float) list)) ~workload
-    schema =
-  match Mapping.of_pschema schema with
-  | Error es -> raise (Cost_error (String.concat "; " es))
-  | Ok m -> (
-      match
-        ( Xq_translate.translate_workload m workload,
-          Xq_translate.translate_updates m updates )
-      with
-      | exception Xq_translate.Untranslatable msg -> raise (Cost_error msg)
-      | queries, writes ->
-          let catalog =
-            if workload_indexes then
-              Rschema.add_indexes m.Mapping.catalog
-                (Xq_translate.equality_columns (List.map fst queries))
-            else m.Mapping.catalog
-          in
-          Legodb_optimizer.Optimizer.mixed_workload_cost ?params catalog
-            ~queries ~updates:writes)
+(* GetPSchemaCost delegates to a one-shot engine: Cost_engine is the
+   canonical mapping → translate → optimize pipeline, and keeping a
+   second copy here was a drift hazard (the engine's docs promise the
+   two agree bit for bit). *)
+let pschema_cost ?params ?workload_indexes ?updates ~workload schema =
+  let eng =
+    Cost_engine.create ?params ?workload_indexes ?updates ~memoize:false
+      ~workload ()
+  in
+  Cost_engine.cost eng schema
+
+(* ------------------------------------------------------------------ *)
+(* parallel neighbor costing                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [~jobs:0] means "one per core" *)
+let resolve_jobs jobs = if jobs <= 0 then Par.default_jobs () else jobs
+
+(* split [l] into at most [n] contiguous chunks of near-equal length,
+   preserving order — the chunking is a pure function of (n, l), which
+   is what makes the parallel counters scheduling-independent *)
+let chunk_list n l =
+  let len = List.length l in
+  if len = 0 then []
+  else begin
+    let n = max 1 (min n len) in
+    let base = len / n and extra = len mod n in
+    let rec take k l =
+      if k = 0 then ([], l)
+      else
+        match l with
+        | [] -> ([], [])
+        | x :: tl ->
+            let h, rest = take (k - 1) tl in
+            (x :: h, rest)
+    in
+    let rec go i l =
+      if l = [] then []
+      else begin
+        let sz = base + if i < extra then 1 else 0 in
+        let h, rest = take sz l in
+        h :: go (i + 1) rest
+      end
+    in
+    go 0 l
+  end
+
+(* order-preserving map, fanned out over at most [jobs] chunks *)
+let par_map ~jobs f l =
+  if jobs <= 1 || not Par.available then List.map f l
+  else
+    chunk_list jobs l
+    |> List.map (fun ch () -> List.map f ch)
+    |> Par.run_list
+    |> List.concat
+
+(* cost every candidate, returning [(candidate, cost option)] in input
+   order.  With [jobs > 1] each chunk costs on its own Cost_engine
+   shard — reading the shared cache, recording new entries privately —
+   and the shards merge back in chunk order at the barrier, so the
+   costs (pure memoization) and the final cache state are identical to
+   a sequential run's answers whatever the scheduling. *)
+let par_cost eng ~jobs ~schema_of candidates =
+  if jobs <= 1 || not Par.available then
+    List.map (fun c -> (c, Cost_engine.cost_opt eng (schema_of c))) candidates
+  else begin
+    let tasks =
+      List.map
+        (fun ch ->
+          let sh = Cost_engine.shard eng in
+          fun () ->
+            ( sh,
+              List.map
+                (fun c -> (c, Cost_engine.shard_cost_opt sh (schema_of c)))
+                ch ))
+        (chunk_list jobs candidates)
+    in
+    let per_chunk = Par.run_list tasks in
+    Cost_engine.merge eng (List.map fst per_chunk);
+    List.concat_map snd per_chunk
+  end
 
 type trace_entry = {
   iteration : int;
@@ -49,8 +108,9 @@ let table_count schema =
        (Xschema.reachable schema))
 
 let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(threshold = 0.) ?(max_iterations = 200) ?memoize ?engine ~workload schema
-    =
+    ?(threshold = 0.) ?(max_iterations = 200) ?(jobs = 1) ?memoize ?engine
+    ~workload schema =
+  let jobs = resolve_jobs jobs in
   let eng =
     match engine with
     | Some e -> e
@@ -69,17 +129,19 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
     if iteration >= max_iterations then (schema, cost, trace)
     else
       let before = Cost_engine.snapshot eng in
+      (* candidates are reduced sequentially in Space.neighbors order
+         with the first-wins tie-break, whatever [jobs] costed them *)
       let best =
         List.fold_left
-          (fun best (step, schema') ->
-            match cost_of schema' with
+          (fun best ((step, schema'), costed) ->
+            match costed with
             | None -> best
             | Some cost' -> (
                 match best with
                 | Some (_, _, bc) when bc <= cost' -> best
                 | _ -> Some (step, schema', cost')))
           None
-          (Space.neighbors ~kinds schema)
+          (par_cost eng ~jobs ~schema_of:snd (Space.neighbors ~kinds schema))
       in
       match best with
       | Some (step, schema', cost') when cost' < cost *. (1. -. threshold) ->
@@ -115,14 +177,14 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
   }
 
 let greedy_so ?params ?workload_indexes ?updates ?(kinds = [ Space.K_inline ])
-    ?threshold ?max_iterations ?memoize ?engine ~workload schema =
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ~workload schema =
   greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?memoize ?engine ~workload (Init.all_outlined schema)
+    ?jobs ?memoize ?engine ~workload (Init.all_outlined schema)
 
 let greedy_si ?params ?workload_indexes ?updates ?(kinds = [ Space.K_outline ])
-    ?threshold ?max_iterations ?memoize ?engine ~workload schema =
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ~workload schema =
   greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?memoize ?engine ~workload (Init.all_inlined schema)
+    ?jobs ?memoize ?engine ~workload (Init.all_inlined schema)
 
 let pp_trace fmt trace =
   List.iter
@@ -150,8 +212,9 @@ let fingerprint schema =
   | Ok m -> Mapping.catalog_fingerprint m.Mapping.catalog
 
 let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?memoize ?engine
-    ~workload schema =
+    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?(jobs = 1) ?memoize
+    ?engine ~workload schema =
+  let jobs = resolve_jobs jobs in
   let eng =
     match engine with
     | Some e -> e
@@ -190,21 +253,31 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
          actually keeps — otherwise a discarded sibling blocks the path
          that needs the same configuration one level later *)
       let level_seen = Hashtbl.create 32 in
+      (* fingerprinting and costing are the two expensive per-candidate
+         passes; both fan out over [jobs] chunks, with the sequential
+         dedupe (first occurrence wins, in discovery order) in between
+         so the level is bit-identical to a sequential one *)
+      let raw =
+        List.concat_map (fun (s, _) -> Space.neighbors ~kinds s) frontier
+      in
+      let fingerprinted =
+        par_map ~jobs (fun (step, s') -> (step, s', fingerprint s')) raw
+      in
+      let deduped =
+        List.filter
+          (fun (_, _, fp) ->
+            if Hashtbl.mem seen fp || Hashtbl.mem level_seen fp then false
+            else begin
+              Hashtbl.replace level_seen fp ();
+              true
+            end)
+          fingerprinted
+      in
       let candidates =
-        List.concat_map
-          (fun (s, _) ->
-            List.filter_map
-              (fun (step, s') ->
-                let fp = fingerprint s' in
-                if Hashtbl.mem seen fp || Hashtbl.mem level_seen fp then None
-                else begin
-                  Hashtbl.replace level_seen fp ();
-                  match cost_of s' with
-                  | Some c -> Some (step, s', c, fp)
-                  | None -> None
-                end)
-              (Space.neighbors ~kinds s))
-          frontier
+        List.filter_map
+          (fun ((step, s', fp), costed) ->
+            match costed with Some c -> Some (step, s', c, fp) | None -> None)
+          (par_cost eng ~jobs ~schema_of:(fun (_, s', _) -> s') deduped)
       in
       let sorted =
         List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare a b) candidates

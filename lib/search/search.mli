@@ -10,7 +10,18 @@
     All strategies evaluate configurations through {!Cost_engine}, so
     per-query costs are memoized across neighbours and iterations; the
     [engine] fields of {!trace_entry} and {!result} report how much
-    work the cache saved. *)
+    work the cache saved.
+
+    Every strategy also accepts [~jobs]: with [jobs > 1] (and an OCaml
+    5 build — see {!Par}) the neighbors of an iteration are costed
+    concurrently on [jobs] per-chunk engine shards, merged back in
+    chunk order at the iteration barrier.  Candidates are always
+    reduced sequentially in [Space.neighbors] order with the first-wins
+    tie-break, so the selected schema, its cost, and the trace are
+    bit-identical for every [jobs] value; only wall-clock time and the
+    cache hit/miss counters vary (chunks cannot see each other's
+    in-flight entries, so [jobs > 1] may record more misses).
+    [~jobs:0] auto-detects one job per core; the default is [1]. *)
 
 open Legodb_xtype
 open Legodb_transform
@@ -38,7 +49,8 @@ val pschema_cost :
     so update-heavy workloads pull the search toward fewer, narrower
     tables.
 
-    This is the uncached reference implementation; an engine created by
+    Implemented as a one-shot uncached {!Cost_engine} — the engine is
+    the canonical costing pipeline, and an engine created by
     {!Cost_engine.create} with the same arguments produces bit-identical
     floats. *)
 
@@ -67,6 +79,7 @@ val greedy :
   ?kinds:Space.kind list ->
   ?threshold:float ->
   ?max_iterations:int ->
+  ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
@@ -96,6 +109,7 @@ val greedy_so :
   ?kinds:Space.kind list ->
   ?threshold:float ->
   ?max_iterations:int ->
+  ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
@@ -112,6 +126,7 @@ val greedy_si :
   ?kinds:Space.kind list ->
   ?threshold:float ->
   ?max_iterations:int ->
+  ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->
@@ -131,6 +146,7 @@ val beam :
   ?width:int ->
   ?patience:int ->
   ?max_iterations:int ->
+  ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   workload:Legodb_xquery.Workload.t ->

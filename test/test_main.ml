@@ -20,6 +20,7 @@ let () =
       ("shred-ordered", Test_shred.ordered_suite);
       ("search", Test_search.suite);
       ("cost-engine", Test_cost_engine.suite);
+      ("par", Test_par.suite);
       ("updates", Test_updates.suite);
       ("beam", Test_search.beam_suite);
       ("integration", Test_integration.suite);

@@ -27,6 +27,50 @@ let big_catalog =
   in
   { Rschema.tables = List.map scale_table catalog.Rschema.tables }
 
+(* NULL-join playground: two tables joined on a nullable column, half
+   the rows NULL on each side.  SQL semantics: NULL = NULL is not true,
+   so only the (L_id 0, R_id 0) pair with k = 1 may join. *)
+let null_catalog =
+  let t name =
+    {
+      Rschema.tname = name;
+      key = name ^ "_id";
+      columns =
+        [
+          Test_relational.col (name ^ "_id") Rtype.R_int ~width:4. ~distinct:4.;
+          Test_relational.col "k" Rtype.R_int ~nullable:true ~null_frac:0.5
+            ~distinct:2.;
+        ];
+      fks = [];
+      indexed = [ name ^ "_id"; "k" ];
+      card = 4.;
+    }
+  in
+  { Rschema.tables = [ t "L"; t "R" ] }
+
+let null_db () =
+  let db = Storage.create null_catalog in
+  let ins t rows =
+    List.iter
+      (fun (id, k) -> Storage.insert db t [| Rtype.V_int id; k |])
+      rows
+  in
+  ins "L"
+    [
+      (0, Rtype.V_int 1);
+      (1, Rtype.V_null);
+      (2, Rtype.V_int 2);
+      (3, Rtype.V_null);
+    ];
+  ins "R"
+    [
+      (0, Rtype.V_int 1);
+      (1, Rtype.V_null);
+      (2, Rtype.V_int 3);
+      (3, Rtype.V_null);
+    ];
+  db
+
 let suite =
   [
     case "cost arithmetic" (fun () ->
@@ -185,6 +229,56 @@ let suite =
         check_int "hash vs inl" h i;
         (* two people aged 25 (i=5, i=55), three pets each *)
         check_int "expected rows" 6 h);
+    case "NULL join keys never match, whatever the join method" (fun () ->
+        (* regression: the hash join indexed tuples by structural key,
+           so V_null = V_null matched and hash joins returned rows the
+           other methods reject through eval_cmp; the index-nl probe
+           had the same bug via Storage.lookup on a NULL key *)
+        let db = null_db () in
+        let scan t alias =
+          Physical.Scan
+            { rel = rel alias t; access = Physical.Seq_scan; filters = [] }
+        in
+        let conds = [ (("l", "k"), ("r", "k")) ] in
+        let out = [ ("l", "L_id"); ("r", "R_id") ] in
+        let run jm =
+          let plan =
+            Physical.Join
+              {
+                jm;
+                left = scan "L" "l";
+                right = scan "R" "r";
+                conds;
+                extra = [];
+              }
+          in
+          fst (Executor.run_block db plan out)
+        in
+        let expected = [ [ Rtype.V_int 0; Rtype.V_int 0 ] ] in
+        let h = run Physical.Hash_join in
+        let n = run Physical.Nl_join in
+        let i = run (Physical.Index_nl { column = "k" }) in
+        check_bool "hash join skips NULL keys" true (h = expected);
+        check_bool "nl join skips NULL keys" true (n = expected);
+        check_bool "index-nl join skips NULL keys" true (i = expected));
+    case "run_query preserves block order" (fun () ->
+        (* regression for the quadratic [rows @ r] accumulation: the
+           rewrite must still emit block results in block order *)
+        let db = Test_relational.fill_db () in
+        let block_for v =
+          ( Physical.Scan
+              {
+                rel = rel "p" "People";
+                access = Physical.Index_probe { column = "People_id" };
+                filters = [ Logical.eq_const ("p", "People_id") (Rtype.V_int v) ];
+              },
+            [ ("p", "People_id") ] )
+        in
+        let ids = [ 3; 1; 4; 1; 5 ] in
+        let rows, m = Executor.run_query db (List.map block_for ids) in
+        check_bool "rows follow block order" true
+          (rows = List.map (fun v -> [ Rtype.V_int v ]) ids);
+        check_int "output rows" 5 m.Executor.output_rows);
     case "executor respects index probes" (fun () ->
         let db = Test_relational.fill_db () in
         let plan =

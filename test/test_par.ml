@@ -1,0 +1,192 @@
+(* The parallel evaluation layer: whatever the [jobs] value, search
+   results must be bit-identical to the sequential run — the reduction
+   is deterministic by construction (static chunking, per-chunk engine
+   shards, ordered merges) and these tests pin that contract down. *)
+
+open Legodb
+open Test_util
+
+let all_queries = [| 8; 9; 11; 12; 13; 15; 16; 17 |]
+
+let prop name ?(count = 50) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* trace equality modulo the [engine] field: snapshots carry wall-clock
+   timers, and the hit/miss split legitimately depends on the chunking
+   (chunks cannot see each other's in-flight entries) *)
+let step_str = Option.map (Format.asprintf "%a" Space.pp_step)
+
+let same_trace a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Search.trace_entry) (y : Search.trace_entry) ->
+         x.Search.iteration = y.Search.iteration
+         && Float.equal x.Search.cost y.Search.cost
+         && x.Search.tables = y.Search.tables
+         && Option.equal String.equal (step_str x.Search.step)
+              (step_str y.Search.step))
+       a b
+
+let check_bit_identical name r1 rn =
+  check_bool (name ^ ": same cost") true
+    (Float.equal r1.Search.cost rn.Search.cost);
+  check_string
+    (name ^ ": same schema")
+    (Xschema.to_string r1.Search.schema)
+    (Xschema.to_string rn.Search.schema);
+  check_bool (name ^ ": same trace") true
+    (same_trace r1.Search.trace rn.Search.trace)
+
+(* a random sub-workload and strategy; both strategies are re-run with
+   jobs=1 and jobs=4 and must agree bit for bit *)
+let gen_workload =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 2) (int_range 0 (Array.length all_queries - 1)))
+      bool)
+
+let run_determinism (picks, use_beam) =
+  let workload =
+    List.sort_uniq compare picks
+    |> List.map (fun i -> Imdb.Queries.q all_queries.(i))
+    |> Workload.of_queries
+  in
+  let run ~jobs =
+    if use_beam then
+      Search.beam ~jobs ~width:3 ~patience:1 ~max_iterations:2 ~workload
+        (Init.all_inlined (Lazy.force annotated_imdb))
+    else
+      Search.greedy_si ~jobs ~max_iterations:3 ~workload
+        (Lazy.force annotated_imdb)
+  in
+  let r1 = run ~jobs:1 and r4 = run ~jobs:4 in
+  Float.equal r1.Search.cost r4.Search.cost
+  && String.equal
+       (Xschema.to_string r1.Search.schema)
+       (Xschema.to_string r4.Search.schema)
+  && same_trace r1.Search.trace r4.Search.trace
+
+(* chunk the inlined IMDB neighbours three ways for the shard tests *)
+let shard_fixture () =
+  let workload = Imdb.Workloads.lookup in
+  let eng = Cost_engine.create ~workload () in
+  let base = Init.all_inlined (Lazy.force annotated_imdb) in
+  let nbs = List.filteri (fun i _ -> i < 3) (Space.neighbors base) in
+  let shards =
+    List.map
+      (fun (_, nb) ->
+        let sh = Cost_engine.shard eng in
+        (* the base schema first: every shard recomputes it privately
+           (misses), then its neighbour hits on the unchanged tables *)
+        ignore (Cost_engine.shard_cost sh base);
+        ignore (Cost_engine.shard_cost sh nb);
+        sh)
+      nbs
+  in
+  (eng, base, shards)
+
+let suite =
+  [
+    case "backend is coherent" (fun () ->
+        check_bool "known backend" true
+          (List.mem Par.backend [ "domains"; "sequential" ]);
+        check_bool "availability matches backend"
+          (String.equal Par.backend "domains")
+          Par.available;
+        check_bool "default_jobs positive" true (Par.default_jobs () >= 1));
+    case "run_list returns results in submission order" (fun () ->
+        (* uneven busy-work so eager completion would reorder results *)
+        let work i =
+          let n = ref 0 in
+          for _ = 1 to (50 - i) * 1000 do
+            incr n
+          done;
+          i + min !n 0
+        in
+        let fs = List.init 50 (fun i () -> work i) in
+        check_bool "ordered" true (Par.run_list fs = List.init 50 Fun.id);
+        check_bool "empty" true (Par.run_list [] = []);
+        check_bool "singleton" true (Par.run_list [ (fun () -> 7) ] = [ 7 ]));
+    case "run_list re-raises the leftmost failure" (fun () ->
+        let fs =
+          [
+            (fun () -> 1);
+            (fun () -> raise Not_found);
+            (fun () -> invalid_arg "later failure");
+          ]
+        in
+        match Par.run_list fs with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+    case "merged snapshot sums the shard counters exactly" (fun () ->
+        let eng, _, shards = shard_fixture () in
+        let snaps = List.map Cost_engine.shard_snapshot shards in
+        check_bool "shards hit inside their chunk" true
+          (List.for_all (fun s -> s.Cost_engine.hits > 0) snaps);
+        Cost_engine.merge eng shards;
+        let s = Cost_engine.snapshot eng in
+        let sum f = List.fold_left (fun a x -> a + f x) 0 snaps in
+        let fsum f = List.fold_left (fun a x -> a +. f x) 0. snaps in
+        check_int "evaluations"
+          (sum (fun s -> s.Cost_engine.evaluations))
+          s.Cost_engine.evaluations;
+        check_int "hits" (sum (fun s -> s.Cost_engine.hits)) s.Cost_engine.hits;
+        check_int "misses"
+          (sum (fun s -> s.Cost_engine.misses))
+          s.Cost_engine.misses;
+        check_bool "mapping time" true
+          (Float.equal s.Cost_engine.t_mapping
+             (fsum (fun s -> s.Cost_engine.t_mapping)));
+        check_bool "optimize time" true
+          (Float.equal s.Cost_engine.t_optimize
+             (fsum (fun s -> s.Cost_engine.t_optimize)));
+        (* merge consumes the shards: merging again must not double-count *)
+        Cost_engine.merge eng shards;
+        let s' = Cost_engine.snapshot eng in
+        check_int "double merge is a no-op" s.Cost_engine.evaluations
+          s'.Cost_engine.evaluations);
+    case "merged entries serve later costs from the cache" (fun () ->
+        let eng, base, shards = shard_fixture () in
+        Cost_engine.merge eng shards;
+        let before = Cost_engine.snapshot eng in
+        ignore (Cost_engine.cost eng base);
+        let after = Cost_engine.snapshot eng in
+        check_int "no new misses" before.Cost_engine.misses
+          after.Cost_engine.misses;
+        check_bool "only hits" true
+          (after.Cost_engine.hits > before.Cost_engine.hits));
+    case "shards of a foreign engine are rejected" (fun () ->
+        let workload = Imdb.Workloads.lookup in
+        let a = Cost_engine.create ~workload () in
+        let b = Cost_engine.create ~workload () in
+        match Cost_engine.merge a [ Cost_engine.shard b ] with
+        | () -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    case "pschema_cost equals a one-shot engine" (fun () ->
+        let workload = Imdb.Workloads.lookup in
+        let s = Init.all_inlined (Lazy.force annotated_imdb) in
+        let p = Search.pschema_cost ~workload s in
+        let cached = Cost_engine.cost (Cost_engine.create ~workload ()) s in
+        let cold =
+          Cost_engine.cost (Cost_engine.create ~memoize:false ~workload ()) s
+        in
+        check_bool "engine (memoized)" true (Float.equal p cached);
+        check_bool "engine (uncached)" true (Float.equal p cold));
+    case "jobs:0 auto-detects and stays bit-identical" (fun () ->
+        let workload = Imdb.Workloads.lookup in
+        let run ~jobs =
+          Search.greedy_si ~jobs ~max_iterations:2 ~workload
+            (Lazy.force annotated_imdb)
+        in
+        check_bit_identical "auto" (run ~jobs:1) (run ~jobs:0));
+    case "full greedy_si run is jobs-invariant" (fun () ->
+        let workload = Imdb.Workloads.mixed 0.5 in
+        let run ~jobs =
+          Search.greedy_si ~jobs ~workload (Lazy.force annotated_imdb)
+        in
+        let r1 = run ~jobs:1 in
+        check_bit_identical "j2" r1 (run ~jobs:2);
+        check_bit_identical "j4" r1 (run ~jobs:4));
+    prop "greedy/beam are bit-identical for jobs=1 and jobs=4" ~count:6
+      gen_workload run_determinism;
+  ]
