@@ -634,3 +634,139 @@ let search_perf ?(jobs = 1) ?(smoke = false) () =
     close_out oc;
     print_endline "[wrote BENCH_search_perf.json]"
   end
+
+(* ------------------------------------------------------------------ *)
+(* budget_sweep: anytime search — every budgeted run is a prefix       *)
+(* ------------------------------------------------------------------ *)
+
+(* One unbudgeted greedy_si run fixes the reference trace (and, via a
+   no-limit Budget, the total ticket count).  Then for each evaluation
+   budget, iteration cap, and jobs value, the budgeted run must return
+   exactly the best-so-far prefix of the reference trace, with
+   [stopped] naming the budget that tripped — the anytime guarantee,
+   asserted rather than plotted.  A final section runs the search with
+   a deterministic injected fault and records the per-candidate
+   failure records the search now surfaces. *)
+let budget_sweep ?(jobs = 1) ?(smoke = false) () =
+  print_endline
+    "\nAnytime search: budgeted runs are prefixes of the full run\n\
+     ==========================================================";
+  let schema = annotated Imdb.Stats.full in
+  let workload = Imdb.Workloads.mixed 0.5 in
+  let tickets = Budget.create () in
+  let full = Search.greedy_si ~params ~budget:tickets ~workload schema in
+  (match full.Search.stopped with
+  | `Converged -> ()
+  | s ->
+      failwith
+        ("budget_sweep: unbudgeted run stopped: " ^ Search.stopped_string s));
+  let total_evals = Budget.evaluations tickets in
+  let total_iters = List.length full.Search.trace - 1 in
+  Printf.printf "full run: cost %.1f, %d iterations, %d evaluations\n%!"
+    full.Search.cost total_iters total_evals;
+  let prefix n l = List.filteri (fun i _ -> i < n) l in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "[";
+  let first_row = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun row ->
+        if not !first_row then Buffer.add_string buf ",";
+        first_row := false;
+        Buffer.add_string buf row)
+      fmt
+  in
+  let jobs_sweep =
+    List.sort_uniq compare
+      (List.filter (fun j -> j >= 1) (if smoke then [ 1; jobs ] else [ 1; 2; jobs ]))
+  in
+  let check ~label ~budget_of ~expect j =
+    let r =
+      Search.greedy_si ~params ~jobs:j ~budget:(budget_of ()) ~workload schema
+    in
+    let n = List.length r.Search.trace in
+    if not (same_trace r.Search.trace (prefix n full.Search.trace)) then
+      failwith
+        (Printf.sprintf "budget_sweep: %s -j %d is not a prefix of the full trace"
+           label j);
+    (match expect with
+    | Some e when r.Search.stopped <> e ->
+        failwith
+          (Printf.sprintf "budget_sweep: %s -j %d stopped %s, expected %s" label
+             j
+             (Search.stopped_string r.Search.stopped)
+             (Search.stopped_string e))
+    | _ -> ());
+    Printf.printf "%-16s -j %-3d  %2d iterations  cost %12.1f  (%s)\n%!" label j
+      (n - 1) r.Search.cost
+      (Search.stopped_string r.Search.stopped);
+    emit
+      "\n\
+       \  {\"kind\": \"budget_sweep\", \"budget\": \"%s\", \"jobs\": %d, \
+       \"iterations\": %d, \"cost\": %.1f, \"stopped\": \"%s\", \"failures\": \
+       %d}"
+      label j (n - 1) r.Search.cost
+      (Search.stopped_string r.Search.stopped)
+      (List.length r.Search.failures)
+  in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun frac ->
+          let limit = max 1 (int_of_float (frac *. float_of_int total_evals)) in
+          let expect =
+            if limit >= total_evals then Some `Converged else Some `Cost_budget
+          in
+          check
+            ~label:(Printf.sprintf "evals<=%d" limit)
+            ~budget_of:(fun () -> Budget.create ~max_evaluations:limit ())
+            ~expect j)
+        (if smoke then [ 0.5 ] else [ 0.25; 0.5; 0.75; 1.0 ]);
+      List.iter
+        (fun iters ->
+          (* an [iters = total_iters] cap trips at the barrier before
+             the would-be converging pass, so it reports [iterations] *)
+          let expect =
+            if iters > total_iters then Some `Converged else Some `Iterations
+          in
+          check
+            ~label:(Printf.sprintf "iters<=%d" iters)
+            ~budget_of:(fun () -> Budget.create ~max_iterations:iters ())
+            ~expect j)
+        (if smoke then [ 1 ] else [ 1; 2; total_iters ]);
+      (* a zero deadline still returns the (budget-exempt) initial
+         configuration *)
+      check ~label:"deadline 0ms"
+        ~budget_of:(fun () -> Budget.create ~wall_ms:0. ())
+        ~expect:(Some `Deadline) j)
+    jobs_sweep;
+
+  (* ---- fault accounting under deterministic injection ---- *)
+  let init_s = Xschema.to_string (Init.all_inlined schema) in
+  let inject s = (not (String.equal s init_s)) && Hashtbl.hash s mod 5 = 0 in
+  let eng = Cost_engine.create ~params ~workload ~inject () in
+  let faulty = Search.greedy_si ~params ~engine:eng ~workload schema in
+  Printf.printf
+    "\nwith injected faults (1 in 5): cost %.1f (%s), %d candidates skipped\n%!"
+    faulty.Search.cost
+    (Search.stopped_string faulty.Search.stopped)
+    (List.length faulty.Search.failures);
+  List.iter
+    (fun (f : Search.failure) ->
+      emit
+        "\n\
+         \  {\"kind\": \"fault\", \"iteration\": %d, \"step\": \"%s\", \
+         \"stage\": \"%s\", \"class\": \"%s\", \"message\": \"%s\"}"
+        f.Search.f_iteration
+        (Format.asprintf "%a" Space.pp_step f.Search.f_step)
+        f.Search.f_stage f.Search.f_class f.Search.f_message)
+    faulty.Search.failures;
+  Buffer.add_string buf "\n]\n";
+  print_newline ();
+  print_string (Buffer.contents buf);
+  if not smoke then begin
+    let oc = open_out "BENCH_budget_sweep.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "[wrote BENCH_budget_sweep.json]"
+  end

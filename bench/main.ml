@@ -96,6 +96,7 @@ let experiments ~jobs ~smoke =
     ("table2", Experiments.table2);
     ("ablation", Experiments.ablation);
     ("search_perf", fun () -> Experiments.search_perf ~jobs ~smoke ());
+    ("budget_sweep", fun () -> Experiments.budget_sweep ~jobs ~smoke ());
     ("micro", micro);
   ]
 

@@ -134,7 +134,25 @@ let design_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run schema_name sample workload strategy threshold indexes jobs =
+  let budget_ms =
+    let doc =
+      "Stop the search after $(docv) milliseconds of wall-clock time and \
+       report the best design found so far (anytime mode)."
+    in
+    Arg.(value & opt (some float) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_iters =
+    let doc = "Stop the search after $(docv) completed iterations." in
+    Arg.(value & opt (some int) None & info [ "max-iters" ] ~docv:"N" ~doc)
+  in
+  let max_evals =
+    let doc =
+      "Stop the search after costing $(docv) candidate configurations."
+    in
+    Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+  in
+  let run schema_name sample workload strategy threshold indexes jobs budget_ms
+      max_iters max_evals =
     match schema_of_name schema_name with
     | Error m -> fail "%s" m
     | Ok schema -> (
@@ -143,22 +161,37 @@ let design_cmd =
         | Ok w -> (
             let stats = load_stats schema sample in
             let annotated = Annotate.schema stats schema in
+            (* the budget doubles as the Ctrl-C channel: SIGINT trips it,
+               the search unwinds cooperatively, and the best-so-far
+               design is reported instead of a backtrace *)
+            let budget =
+              Budget.create ?wall_ms:budget_ms ?max_iterations:max_iters
+                ?max_evaluations:max_evals ()
+            in
             let search =
               match strategy with
               | "si" ->
                   Ok
                     (Search.greedy_si ~workload_indexes:indexes ~threshold
-                       ~jobs ~workload:w)
+                       ~jobs ~budget ~workload:w)
               | "so" ->
                   Ok
                     (Search.greedy_so ~workload_indexes:indexes ~threshold
-                       ~jobs ~workload:w)
+                       ~jobs ~budget ~workload:w)
               | s -> Error (Printf.sprintf "unknown strategy %S" s)
             in
             match search with
             | Error m -> fail "%s" m
             | Ok search -> (
-                let r = search annotated in
+                let previous =
+                  Sys.signal Sys.sigint
+                    (Sys.Signal_handle (fun _ -> Budget.interrupt budget))
+                in
+                let r =
+                  Fun.protect
+                    ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+                    (fun () -> search annotated)
+                in
                 match Mapping.of_pschema r.Search.schema with
                 | Error es -> fail "%s" (String.concat "; " es)
                 | Ok mapping ->
@@ -169,14 +202,20 @@ let design_cmd =
                         cost = r.Search.cost;
                         trace = r.Search.trace;
                         engine = r.Search.engine;
+                        stopped = r.Search.stopped;
+                        failures = r.Search.failures;
                       };
+                    if r.Search.stopped = `Interrupted then begin
+                      prerr_endline "legodb: interrupted; best design so far shown above";
+                      exit 130
+                    end;
                     `Ok ())))
   in
   let term =
     Term.(
       ret
         (const run $ schema_arg $ sample_arg $ workload_arg $ strategy
-       $ threshold $ indexes $ jobs))
+       $ threshold $ indexes $ jobs $ budget_ms $ max_iters $ max_evals))
   in
   Cmd.v
     (Cmd.info "design"
@@ -365,21 +404,53 @@ let transforms_cmd =
        ~doc:"List the schema transformations applicable to a configuration")
     Term.(ret (const run $ schema_arg $ sample_arg $ config_arg $ all))
 
+(* Error hygiene: domain failures print one line on stderr and exit
+   with a distinct code — no backtraces for expected failure modes.
+     2  I/O (missing/unreadable file)
+     3  configuration cannot be costed
+     4  untranslatable query
+     5  parse error (schema, query, or XML)
+     6  shredding failure
+   130  interrupted (SIGINT; the best-so-far design is still printed) *)
 let () =
   let info =
     Cmd.info "legodb" ~version:"1.0.0"
       ~doc:"Cost-based XML-to-relational storage design (LegoDB)"
   in
+  let group =
+    Cmd.group info
+      [
+        design_cmd;
+        sql_cmd;
+        shred_cmd;
+        publish_cmd;
+        generate_cmd;
+        stats_cmd;
+        validate_cmd;
+        transforms_cmd;
+      ]
+  in
+  let oneliner fmt = Printf.ksprintf (fun m -> prerr_endline ("legodb: " ^ m)) fmt in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            design_cmd;
-            sql_cmd;
-            shred_cmd;
-            publish_cmd;
-            generate_cmd;
-            stats_cmd;
-            validate_cmd;
-            transforms_cmd;
-          ]))
+    (try Cmd.eval ~catch:false group with
+    | Search.Cost_error m ->
+        oneliner "cannot cost this configuration: %s" m;
+        3
+    | Xq_translate.Untranslatable m ->
+        oneliner "untranslatable query: %s" m;
+        4
+    | Xtype_parse.Parse_error { position; message } ->
+        oneliner "schema parse error at offset %d: %s" position message;
+        5
+    | Xq_parse.Parse_error { position; message } ->
+        oneliner "query parse error at offset %d: %s" position message;
+        5
+    | Xml_parse.Parse_error { position; message } ->
+        oneliner "XML parse error at offset %d: %s" position message;
+        5
+    | Shred.Shred_error { path; message } ->
+        oneliner "shredding failed at %s: %s" (String.concat "/" path) message;
+        6
+    | Sys_error m ->
+        oneliner "%s" m;
+        2)

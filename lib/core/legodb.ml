@@ -38,6 +38,7 @@ module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
+module Budget = Legodb_search.Budget
 module Par = Legodb_search.Par
 
 module Imdb = struct
@@ -54,19 +55,21 @@ type design = {
   cost : float;  (** estimated workload cost *)
   trace : Search.trace_entry list;  (** greedy iterations *)
   engine : Cost_engine.snapshot;  (** cost-engine work & cache totals *)
+  stopped : Search.stopped;  (** convergence or the budget that tripped *)
+  failures : Search.failure list;  (** candidates the pipeline couldn't cost *)
 }
 
 type strategy = Greedy_si | Greedy_so
 
-let design ?(strategy = Greedy_si) ?params ?threshold ?jobs ~schema ~stats
-    ~workload () =
+let design ?(strategy = Greedy_si) ?params ?threshold ?jobs ?budget ~schema
+    ~stats ~workload () =
   let annotated = Annotate.schema stats schema in
   let result =
     match strategy with
     | Greedy_si ->
-        Search.greedy_si ?params ?threshold ?jobs ~workload annotated
+        Search.greedy_si ?params ?threshold ?jobs ?budget ~workload annotated
     | Greedy_so ->
-        Search.greedy_so ?params ?threshold ?jobs ~workload annotated
+        Search.greedy_so ?params ?threshold ?jobs ?budget ~workload annotated
   in
   match Mapping.of_pschema result.Search.schema with
   | Ok mapping ->
@@ -76,21 +79,30 @@ let design ?(strategy = Greedy_si) ?params ?threshold ?jobs ~schema ~stats
         cost = result.Search.cost;
         trace = result.Search.trace;
         engine = result.Search.engine;
+        stopped = result.Search.stopped;
+        failures = result.Search.failures;
       }
   | Error es ->
       invalid_arg
         ("Legodb.design: selected schema failed to map: "
         ^ String.concat "; " es)
 
-let design_of_xml ?strategy ?params ?threshold ?jobs ~schema ~document
+let design_of_xml ?strategy ?params ?threshold ?jobs ?budget ~schema ~document
     ~workload () =
   let stats = Collector.collect document in
-  design ?strategy ?params ?threshold ?jobs ~schema ~stats ~workload ()
+  design ?strategy ?params ?threshold ?jobs ?budget ~schema ~stats ~workload ()
 
 let report fmt d =
   Format.fprintf fmt "-- LegoDB storage design --@.";
   Format.fprintf fmt "estimated workload cost: %.1f@." d.cost;
-  Format.fprintf fmt "greedy iterations: %d@." (List.length d.trace - 1);
+  Format.fprintf fmt "greedy iterations: %d (%a)@."
+    (List.length d.trace - 1)
+    Search.pp_stopped d.stopped;
+  (match d.failures with
+  | [] -> ()
+  | fs ->
+      Format.fprintf fmt "uncostable candidates: %d@." (List.length fs);
+      List.iter (Format.fprintf fmt "  %a@." Search.pp_failure) fs);
   Format.fprintf fmt "cost engine: %a@.@." Cost_engine.pp_snapshot d.engine;
   Format.fprintf fmt "%a@." Search.pp_trace d.trace;
   Format.fprintf fmt "selected p-schema:@.%a@." Xschema.pp d.schema;

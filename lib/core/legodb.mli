@@ -52,6 +52,7 @@ module Shred = Legodb_mapping.Shred
 module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
+module Budget = Legodb_search.Budget
 module Par = Legodb_search.Par
 
 (** The IMDB application of the paper's evaluation. *)
@@ -72,7 +73,13 @@ type design = {
   trace : Search.trace_entry list;  (** greedy iterations, first = initial *)
   engine : Cost_engine.snapshot;
       (** the search's cost-engine totals: configurations costed, cache
-          hit rate, per-layer wall time *)
+          hit rate, faults, per-layer wall time *)
+  stopped : Search.stopped;
+      (** why the search returned: [`Converged], or the budget/interrupt
+          that cut it short (the design is then the best found so far) *)
+  failures : Search.failure list;
+      (** candidate configurations the costing pipeline failed on,
+          skipped with a structured record instead of silently *)
 }
 
 type strategy =
@@ -84,6 +91,7 @@ val design :
   ?params:Cost.params ->
   ?threshold:float ->
   ?jobs:int ->
+  ?budget:Budget.t ->
   schema:Xschema.t ->
   stats:Pathstat.t ->
   workload:Workload.t ->
@@ -93,7 +101,9 @@ val design :
     return the chosen configuration.  [?jobs] costs the neighbor
     configurations of each search iteration on that many cores
     ([0] = one per core; see {!Search.greedy}) — the selected design is
-    bit-identical for every value.
+    bit-identical for every value.  [?budget] makes the search anytime:
+    when it trips, the best design found so far is returned and
+    [design.stopped] names the reason (see {!Budget}).
     @raise Search.Cost_error if no configuration can be costed.
     @raise Invalid_argument on internal mapping failure. *)
 
@@ -102,6 +112,7 @@ val design_of_xml :
   ?params:Cost.params ->
   ?threshold:float ->
   ?jobs:int ->
+  ?budget:Budget.t ->
   schema:Xschema.t ->
   document:Xml.t ->
   workload:Workload.t ->

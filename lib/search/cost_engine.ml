@@ -6,10 +6,18 @@ module Cost = Legodb_optimizer.Cost
 
 exception Cost_error of string
 
+type fault = { stage : string; exn_class : string; message : string }
+
+(* internal carrier: costing failures travel as [Fault] inside the
+   engine so the public entry points can both account them and decide
+   whether to surface a [Cost_error] ([cost]) or a value ([cost_result]) *)
+exception Fault of fault
+
 type snapshot = {
   evaluations : int;
   hits : int;
   misses : int;
+  faults : int;
   t_mapping : float;
   t_translate : float;
   t_optimize : float;
@@ -20,6 +28,7 @@ let empty_snapshot =
     evaluations = 0;
     hits = 0;
     misses = 0;
+    faults = 0;
     t_mapping = 0.;
     t_translate = 0.;
     t_optimize = 0.;
@@ -31,6 +40,7 @@ type counters = {
   mutable evaluations : int;
   mutable hits : int;
   mutable misses : int;
+  mutable faults : int;
   mutable t_mapping : float;
   mutable t_translate : float;
   mutable t_optimize : float;
@@ -41,6 +51,7 @@ let fresh_counters () =
     evaluations = 0;
     hits = 0;
     misses = 0;
+    faults = 0;
     t_mapping = 0.;
     t_translate = 0.;
     t_optimize = 0.;
@@ -53,6 +64,7 @@ type t = {
   updates : (Legodb_xquery.Xq_ast.update * float) array;
   memoize : bool;
   oracle : bool;
+  inject : (string -> bool) option;
   cache : (string, float) Hashtbl.t;
   c : counters;
 }
@@ -64,7 +76,7 @@ type shard = {
 }
 
 let create ?params ?(workload_indexes = false) ?(updates = [])
-    ?(memoize = true) ?(oracle = false) ~workload () =
+    ?(memoize = true) ?(oracle = false) ?inject ~workload () =
   {
     params;
     workload_indexes;
@@ -72,6 +84,7 @@ let create ?params ?(workload_indexes = false) ?(updates = [])
     updates = Array.of_list updates;
     memoize;
     oracle;
+    inject;
     cache = Hashtbl.create 256;
     c = fresh_counters ();
   }
@@ -94,13 +107,38 @@ let key ~kind ~index fps tables =
 (* One costing pass, generic over where cache lookups/insertions and
    counter bumps land: the engine itself ([cost]) or a worker shard
    ([shard_cost]).  Keeping a single body is what guarantees the
-   sequential and sharded paths price a configuration identically. *)
-let cost_into ~find ~add (t : t) (c : counters) schema =
+   sequential and sharded paths price a configuration identically.
+
+   [check] is the cooperative cancellation point (see Budget): it runs
+   before any work — and before the evaluation is counted — so an
+   exhausted budget abandons the configuration without charging it.
+   Failures leave as [Fault] records naming the pipeline stage and the
+   exception class, so the search can account each skipped candidate
+   instead of silently dropping it. *)
+let cost_into ?(check = ignore) ~find ~add (t : t) (c : counters) schema =
+  check ();
   c.evaluations <- c.evaluations + 1;
+  (match t.inject with
+  | Some p when p (Legodb_xtype.Xschema.to_string schema) ->
+      raise
+        (Fault
+           {
+             stage = "inject";
+             exn_class = "Injected";
+             message = "injected fault";
+           })
+  | _ -> ());
   let t0 = now () in
   let m =
     match Mapping.of_pschema schema with
-    | Error es -> raise (Cost_error (String.concat "; " es))
+    | Error es ->
+        raise
+          (Fault
+             {
+               stage = "mapping";
+               exn_class = "Mapping_error";
+               message = String.concat "; " es;
+             })
     | Ok m -> m
   in
   c.t_mapping <- c.t_mapping +. (now () -. t0);
@@ -115,7 +153,14 @@ let cost_into ~find ~add (t : t) (c : counters) schema =
           t.updates )
     with
     | qs, us -> (qs, us)
-    | exception Xq_translate.Untranslatable msg -> raise (Cost_error msg)
+    | exception Xq_translate.Untranslatable msg ->
+        raise
+          (Fault
+             {
+               stage = "translate";
+               exn_class = "Untranslatable";
+               message = msg;
+             })
   in
   c.t_translate <- c.t_translate +. (now () -. t1);
   let catalog =
@@ -179,14 +224,26 @@ let cost_into ~find ~add (t : t) (c : counters) schema =
     updates;
   !total +. !wtotal
 
-let cost t schema =
-  cost_into
+let engine_cost ?check t schema =
+  cost_into ?check
     ~find:(fun k -> Hashtbl.find_opt t.cache k)
     ~add:(fun k v -> Hashtbl.replace t.cache k v)
     t t.c schema
 
-let cost_opt t schema =
-  match cost t schema with c -> Some c | exception Cost_error _ -> None
+let cost_result ?check t schema =
+  match engine_cost ?check t schema with
+  | v -> Ok v
+  | exception Fault f ->
+      t.c.faults <- t.c.faults + 1;
+      Error f
+
+let cost ?check t schema =
+  match cost_result ?check t schema with
+  | Ok v -> v
+  | Error f -> raise (Cost_error (Printf.sprintf "%s: %s" f.stage f.message))
+
+let cost_opt ?check t schema =
+  match cost_result ?check t schema with Ok c -> Some c | Error _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* worker shards                                                       *)
@@ -194,19 +251,30 @@ let cost_opt t schema =
 
 let shard t = { base = t; fresh = Hashtbl.create 64; sc = fresh_counters () }
 
-let shard_cost sh schema =
-  cost_into
-    ~find:(fun k ->
-      match Hashtbl.find_opt sh.fresh k with
-      | Some _ as r -> r
-      | None -> Hashtbl.find_opt sh.base.cache k)
-    ~add:(fun k v -> Hashtbl.replace sh.fresh k v)
-    sh.base sh.sc schema
+let shard_cost_result ?check sh schema =
+  match
+    cost_into ?check
+      ~find:(fun k ->
+        match Hashtbl.find_opt sh.fresh k with
+        | Some _ as r -> r
+        | None -> Hashtbl.find_opt sh.base.cache k)
+      ~add:(fun k v -> Hashtbl.replace sh.fresh k v)
+      sh.base sh.sc schema
+  with
+  | v -> Ok v
+  | exception Fault f ->
+      sh.sc.faults <- sh.sc.faults + 1;
+      Error f
 
-let shard_cost_opt sh schema =
-  match shard_cost sh schema with
-  | c -> Some c
-  | exception Cost_error _ -> None
+let shard_cost ?check sh schema =
+  match shard_cost_result ?check sh schema with
+  | Ok v -> v
+  | Error f -> raise (Cost_error (Printf.sprintf "%s: %s" f.stage f.message))
+
+let shard_cost_opt ?check sh schema =
+  match shard_cost_result ?check sh schema with
+  | Ok c -> Some c
+  | Error _ -> None
 
 let merge t shards =
   List.iter
@@ -219,6 +287,7 @@ let merge t shards =
       t.c.evaluations <- t.c.evaluations + sh.sc.evaluations;
       t.c.hits <- t.c.hits + sh.sc.hits;
       t.c.misses <- t.c.misses + sh.sc.misses;
+      t.c.faults <- t.c.faults + sh.sc.faults;
       t.c.t_mapping <- t.c.t_mapping +. sh.sc.t_mapping;
       t.c.t_translate <- t.c.t_translate +. sh.sc.t_translate;
       t.c.t_optimize <- t.c.t_optimize +. sh.sc.t_optimize;
@@ -227,6 +296,7 @@ let merge t shards =
       sh.sc.evaluations <- 0;
       sh.sc.hits <- 0;
       sh.sc.misses <- 0;
+      sh.sc.faults <- 0;
       sh.sc.t_mapping <- 0.;
       sh.sc.t_translate <- 0.;
       sh.sc.t_optimize <- 0.)
@@ -237,6 +307,7 @@ let snapshot_of (c : counters) : snapshot =
     evaluations = c.evaluations;
     hits = c.hits;
     misses = c.misses;
+    faults = c.faults;
     t_mapping = c.t_mapping;
     t_translate = c.t_translate;
     t_optimize = c.t_optimize;
@@ -250,6 +321,7 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     evaluations = a.evaluations - b.evaluations;
     hits = a.hits - b.hits;
     misses = a.misses - b.misses;
+    faults = a.faults - b.faults;
     t_mapping = a.t_mapping -. b.t_mapping;
     t_translate = a.t_translate -. b.t_translate;
     t_optimize = a.t_optimize -. b.t_optimize;
@@ -265,4 +337,7 @@ let pp_snapshot fmt (s : snapshot) =
      rate); mapping %.3fs, translate %.3fs, optimize %.3fs"
     s.evaluations (s.hits + s.misses) s.hits
     (100. *. hit_rate s)
-    s.t_mapping s.t_translate s.t_optimize
+    s.t_mapping s.t_translate s.t_optimize;
+  if s.faults > 0 then
+    Format.fprintf fmt "; %d uncostable configuration%s skipped" s.faults
+      (if s.faults = 1 then "" else "s")

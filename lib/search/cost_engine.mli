@@ -22,10 +22,24 @@ exception Cost_error of string
 (** Raised when a configuration cannot be costed (mapping or
     translation failure) — same meaning as {!Search.Cost_error}. *)
 
+type fault = {
+  stage : string;
+      (** pipeline stage that failed: ["mapping"], ["translate"], or
+          ["inject"] *)
+  exn_class : string;
+      (** exception class: ["Mapping_error"], ["Untranslatable"], or
+          ["Injected"] — a stable name for fault accounting *)
+  message : string;  (** the underlying error message *)
+}
+(** One candidate configuration the pipeline could not cost.
+    {!cost_result} returns these; {!cost} folds them into
+    {!Cost_error}.  Every fault is also counted in the snapshot. *)
+
 type snapshot = {
   evaluations : int;  (** configurations costed (engine calls) *)
   hits : int;  (** statement costings answered from the cache *)
   misses : int;  (** statement costings computed by the optimizer *)
+  faults : int;  (** configurations the pipeline failed to cost *)
   t_mapping : float;  (** seconds deriving relational catalogs *)
   t_translate : float;  (** seconds translating the workload *)
   t_optimize : float;  (** seconds in the relational optimizer *)
@@ -41,6 +55,7 @@ val create :
   ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
   ?memoize:bool ->
   ?oracle:bool ->
+  ?inject:(string -> bool) ->
   workload:Legodb_xquery.Workload.t ->
   unit ->
   t
@@ -49,16 +64,43 @@ val create :
     from scratch, which is the reference behaviour benchmarks compare
     against.  [~oracle:true] re-costs every cache hit from scratch and
     raises [Invalid_argument] if the cached float differs — the
-    self-checking mode the equivalence tests run in. *)
+    self-checking mode the equivalence tests run in.
 
-val cost : t -> Legodb_xtype.Xschema.t -> float
+    [?inject] is a deterministic fault-injection hook for testing the
+    search's fault accounting: it receives
+    [Legodb_xtype.Xschema.to_string] of each configuration {e before}
+    any pipeline work, and returning [true] makes the costing fail
+    with a fault of stage ["inject"].  Because the hook is a pure
+    function of the configuration, an injected fault fires identically
+    for every [~jobs] value and on every revisit — a search with
+    injected faults must select exactly what a search with those
+    candidates filtered out would. *)
+
+(** Every costing entry point takes an optional [?check] hook, called
+    once at entry before any work: a cooperative cancellation point.
+    The search passes {!Budget.tick}, so an exhausted budget (or a
+    tripped interrupt) raises {!Budget.Exhausted} out of the costing —
+    including from inside in-flight parallel chunks, which notice at
+    their next candidate and stop promptly. *)
+
+val cost : ?check:(unit -> unit) -> t -> Legodb_xtype.Xschema.t -> float
 (** Cost one configuration: derive the catalog, translate the
     workload, and sum per-statement costs, serving structurally
     unchanged statements from the cache.  Produces the same float as
     {!Search.pschema_cost} with the same arguments.
     @raise Cost_error when the configuration cannot be costed. *)
 
-val cost_opt : t -> Legodb_xtype.Xschema.t -> float option
+val cost_result :
+  ?check:(unit -> unit) ->
+  t ->
+  Legodb_xtype.Xschema.t ->
+  (float, fault) result
+(** [cost] with failures as structured {!fault} records instead of a
+    raised {!Cost_error}; the engine's fault counter is bumped either
+    way. *)
+
+val cost_opt :
+  ?check:(unit -> unit) -> t -> Legodb_xtype.Xschema.t -> float option
 (** [cost] with {!Cost_error} mapped to [None]. *)
 
 (** {1 Worker shards}
@@ -81,12 +123,21 @@ val shard : t -> shard
     concurrently reading [t] via {!snapshot}); do not call {!cost} on
     [t] itself, which would write the shared cache under the readers. *)
 
-val shard_cost : shard -> Legodb_xtype.Xschema.t -> float
+val shard_cost :
+  ?check:(unit -> unit) -> shard -> Legodb_xtype.Xschema.t -> float
 (** {!cost} against the shard's view: hits come from the shard's own
     new entries or the shared cache; misses are recorded privately.
     @raise Cost_error when the configuration cannot be costed. *)
 
-val shard_cost_opt : shard -> Legodb_xtype.Xschema.t -> float option
+val shard_cost_result :
+  ?check:(unit -> unit) ->
+  shard ->
+  Legodb_xtype.Xschema.t ->
+  (float, fault) result
+(** [shard_cost] with failures as structured {!fault} records. *)
+
+val shard_cost_opt :
+  ?check:(unit -> unit) -> shard -> Legodb_xtype.Xschema.t -> float option
 (** [shard_cost] with {!Cost_error} mapped to [None]. *)
 
 val shard_snapshot : shard -> snapshot

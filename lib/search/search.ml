@@ -60,15 +60,23 @@ let par_map ~jobs f l =
     |> Par.run_list
     |> List.concat
 
-(* cost every candidate, returning [(candidate, cost option)] in input
-   order.  With [jobs > 1] each chunk costs on its own Cost_engine
-   shard — reading the shared cache, recording new entries privately —
-   and the shards merge back in chunk order at the barrier, so the
-   costs (pure memoization) and the final cache state are identical to
-   a sequential run's answers whatever the scheduling. *)
-let par_cost eng ~jobs ~schema_of candidates =
+(* cost every candidate, returning [(candidate, cost-or-fault)] in
+   input order.  With [jobs > 1] each chunk costs on its own
+   Cost_engine shard — reading the shared cache, recording new entries
+   privately — and the shards merge back in chunk order at the
+   barrier, so the costs (pure memoization) and the final cache state
+   are identical to a sequential run's answers whatever the
+   scheduling.  [check] (Budget.tick) runs before each candidate on
+   every path; if it raises, Par.run_list re-raises after the other
+   chunks settle — they hit the same exhausted budget at their next
+   candidate, so in-flight work stops promptly and the iteration is
+   abandoned wholesale (no shard is merged, keeping the barrier
+   all-or-nothing). *)
+let par_cost eng ~check ~jobs ~schema_of candidates =
   if jobs <= 1 || not Par.available then
-    List.map (fun c -> (c, Cost_engine.cost_opt eng (schema_of c))) candidates
+    List.map
+      (fun c -> (c, Cost_engine.cost_result ~check eng (schema_of c)))
+      candidates
   else begin
     let tasks =
       List.map
@@ -77,7 +85,8 @@ let par_cost eng ~jobs ~schema_of candidates =
           fun () ->
             ( sh,
               List.map
-                (fun c -> (c, Cost_engine.shard_cost_opt sh (schema_of c)))
+                (fun c ->
+                  (c, Cost_engine.shard_cost_result ~check sh (schema_of c)))
                 ch ))
         (chunk_list jobs candidates)
     in
@@ -86,12 +95,37 @@ let par_cost eng ~jobs ~schema_of candidates =
     List.concat_map snd per_chunk
   end
 
+type stopped =
+  [ `Converged | `Deadline | `Iterations | `Cost_budget | `Interrupted ]
+
+let stopped_string = function
+  | `Converged -> "converged"
+  | `Deadline -> "deadline"
+  | `Iterations -> "iterations"
+  | `Cost_budget -> "cost_budget"
+  | `Interrupted -> "interrupted"
+
+let pp_stopped fmt s = Format.pp_print_string fmt (stopped_string s)
+
+type failure = {
+  f_iteration : int;
+  f_step : Space.step;
+  f_stage : string;
+  f_class : string;
+  f_message : string;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt "iteration %d: %a: %s (%s: %s)" f.f_iteration
+    Space.pp_step f.f_step f.f_class f.f_stage f.f_message
+
 type trace_entry = {
   iteration : int;
   cost : float;
   step : Space.step option;
   tables : int;
   engine : Cost_engine.snapshot;
+  failures : failure list;
 }
 
 type result = {
@@ -99,7 +133,27 @@ type result = {
   cost : float;
   trace : trace_entry list;
   engine : Cost_engine.snapshot;
+  stopped : stopped;
+  failures : failure list;
 }
+
+(* the failure records of one costing pass, in candidate order (which
+   par_cost preserves for every [jobs] value) *)
+let failures_of ~iteration ~step_of costed =
+  List.filter_map
+    (fun (c, r) ->
+      match r with
+      | Ok _ -> None
+      | Error (f : Cost_engine.fault) ->
+          Some
+            {
+              f_iteration = iteration;
+              f_step = step_of c;
+              f_stage = f.Cost_engine.stage;
+              f_class = f.Cost_engine.exn_class;
+              f_message = f.Cost_engine.message;
+            })
+    costed
 
 let table_count schema =
   List.length
@@ -109,8 +163,10 @@ let table_count schema =
 
 let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
     ?(threshold = 0.) ?(max_iterations = 200) ?(jobs = 1) ?memoize ?engine
-    ~workload schema =
+    ?budget ~workload schema =
   let jobs = resolve_jobs jobs in
+  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
+  let check () = Budget.tick ctl in
   let eng =
     match engine with
     | Some e -> e
@@ -119,43 +175,66 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
           ~workload ()
   in
   let start = Cost_engine.snapshot eng in
-  let cost_of s = Cost_engine.cost_opt eng s in
+  (* the initial configuration is exempt from the budget (no ticket,
+     no cancellation): anytime search always has a result to return *)
   let initial_cost =
-    match cost_of schema with
+    match Cost_engine.cost_opt eng schema with
     | Some c -> c
     | None -> raise (Cost_error "initial configuration cannot be costed")
   in
-  let rec descend iteration schema cost trace =
-    if iteration >= max_iterations then (schema, cost, trace)
-    else
-      let before = Cost_engine.snapshot eng in
-      (* candidates are reduced sequentially in Space.neighbors order
-         with the first-wins tie-break, whatever [jobs] costed them *)
-      let best =
-        List.fold_left
-          (fun best ((step, schema'), costed) ->
-            match costed with
-            | None -> best
-            | Some cost' -> (
-                match best with
-                | Some (_, _, bc) when bc <= cost' -> best
-                | _ -> Some (step, schema', cost')))
-          None
-          (par_cost eng ~jobs ~schema_of:snd (Space.neighbors ~kinds schema))
-      in
-      match best with
-      | Some (step, schema', cost') when cost' < cost *. (1. -. threshold) ->
-          let entry =
-            {
-              iteration = iteration + 1;
-              cost = cost';
-              step = Some step;
-              tables = table_count schema';
-              engine = Cost_engine.diff (Cost_engine.snapshot eng) before;
-            }
-          in
-          descend (iteration + 1) schema' cost' (entry :: trace)
-      | Some _ | None -> (schema, cost, trace)
+  let rec descend iteration schema cost trace failures =
+    match Budget.stop_at_iteration ctl iteration with
+    | Some r -> (schema, cost, trace, failures, (r :> stopped))
+    | None -> (
+        if iteration >= max_iterations then
+          (schema, cost, trace, failures, `Iterations)
+        else
+          let before = Cost_engine.snapshot eng in
+          match
+            par_cost eng ~check ~jobs ~schema_of:snd
+              (Space.neighbors ~kinds schema)
+          with
+          | exception Budget.Exhausted r ->
+              (* the iteration is abandoned wholesale: the result is
+                 the best-so-far over *completed* iterations, i.e. a
+                 prefix of the unbudgeted trace *)
+              (schema, cost, trace, failures, (r :> stopped))
+          | costed -> (
+              let iter_failures =
+                failures_of ~iteration:(iteration + 1) ~step_of:fst costed
+              in
+              let failures =
+                match iter_failures with [] -> failures | l -> l :: failures
+              in
+              (* candidates are reduced sequentially in Space.neighbors
+                 order with the first-wins tie-break, whatever [jobs]
+                 costed them *)
+              let best =
+                List.fold_left
+                  (fun best ((step, schema'), costed) ->
+                    match costed with
+                    | Error _ -> best
+                    | Ok cost' -> (
+                        match best with
+                        | Some (_, _, bc) when bc <= cost' -> best
+                        | _ -> Some (step, schema', cost')))
+                  None costed
+              in
+              match best with
+              | Some (step, schema', cost') when cost' < cost *. (1. -. threshold)
+                ->
+                  let entry =
+                    {
+                      iteration = iteration + 1;
+                      cost = cost';
+                      step = Some step;
+                      tables = table_count schema';
+                      engine = Cost_engine.diff (Cost_engine.snapshot eng) before;
+                      failures = iter_failures;
+                    }
+                  in
+                  descend (iteration + 1) schema' cost' (entry :: trace) failures
+              | Some _ | None -> (schema, cost, trace, failures, `Converged)))
   in
   let trace0 =
     [
@@ -165,26 +244,31 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
         step = None;
         tables = table_count schema;
         engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+        failures = [];
       };
     ]
   in
-  let schema, cost, trace = descend 0 schema initial_cost trace0 in
+  let schema, cost, trace, failures, stopped =
+    descend 0 schema initial_cost trace0 []
+  in
   {
     schema;
     cost;
     trace = List.rev trace;
     engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+    stopped;
+    failures = List.concat (List.rev failures);
   }
 
 let greedy_so ?params ?workload_indexes ?updates ?(kinds = [ Space.K_inline ])
-    ?threshold ?max_iterations ?jobs ?memoize ?engine ~workload schema =
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ~workload schema =
   greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?jobs ?memoize ?engine ~workload (Init.all_outlined schema)
+    ?jobs ?memoize ?engine ?budget ~workload (Init.all_outlined schema)
 
 let greedy_si ?params ?workload_indexes ?updates ?(kinds = [ Space.K_outline ])
-    ?threshold ?max_iterations ?jobs ?memoize ?engine ~workload schema =
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ~workload schema =
   greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?jobs ?memoize ?engine ~workload (Init.all_inlined schema)
+    ?jobs ?memoize ?engine ?budget ~workload (Init.all_inlined schema)
 
 let pp_trace fmt trace =
   List.iter
@@ -213,8 +297,10 @@ let fingerprint schema =
 
 let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
     ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?(jobs = 1) ?memoize
-    ?engine ~workload schema =
+    ?engine ?budget ~workload schema =
   let jobs = resolve_jobs jobs in
+  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
+  let check () = Budget.tick ctl in
   let eng =
     match engine with
     | Some e -> e
@@ -223,9 +309,10 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
           ~workload ()
   in
   let start = Cost_engine.snapshot eng in
-  let cost_of s = Cost_engine.cost_opt eng s in
+  (* the initial configuration is exempt from the budget (no ticket,
+     no cancellation): anytime search always has a result to return *)
   let initial_cost =
-    match cost_of schema with
+    match Cost_engine.cost_opt eng schema with
     | Some c -> c
     | None -> raise (Cost_error "initial configuration cannot be costed")
   in
@@ -241,83 +328,117 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
           step = None;
           tables = table_count schema;
           engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+          failures = [];
         };
       ]
   in
+  let all_failures = ref [] in
   let rec level i barren frontier =
-    if i >= max_iterations || barren >= patience || frontier = [] then ()
-    else begin
-      let before = Cost_engine.snapshot eng in
-      (* configurations reached by commuting step orders collide: dedupe
-         within the level, but blacklist globally only what the beam
-         actually keeps — otherwise a discarded sibling blocks the path
-         that needs the same configuration one level later *)
-      let level_seen = Hashtbl.create 32 in
-      (* fingerprinting and costing are the two expensive per-candidate
-         passes; both fan out over [jobs] chunks, with the sequential
-         dedupe (first occurrence wins, in discovery order) in between
-         so the level is bit-identical to a sequential one *)
-      let raw =
-        List.concat_map (fun (s, _) -> Space.neighbors ~kinds s) frontier
-      in
-      let fingerprinted =
-        par_map ~jobs (fun (step, s') -> (step, s', fingerprint s')) raw
-      in
-      let deduped =
-        List.filter
-          (fun (_, _, fp) ->
-            if Hashtbl.mem seen fp || Hashtbl.mem level_seen fp then false
-            else begin
-              Hashtbl.replace level_seen fp ();
-              true
-            end)
-          fingerprinted
-      in
-      let candidates =
-        List.filter_map
-          (fun ((step, s', fp), costed) ->
-            match costed with Some c -> Some (step, s', c, fp) | None -> None)
-          (par_cost eng ~jobs ~schema_of:(fun (_, s', _) -> s') deduped)
-      in
-      let sorted =
-        List.sort (fun (_, _, a, _) (_, _, b, _) -> Float.compare a b) candidates
-      in
-      let keep =
-        List.filteri (fun j _ -> j < width) sorted
-        |> List.map (fun (step, s, c, fp) ->
-               Hashtbl.replace seen fp ();
-               (step, s, c))
-      in
+    match Budget.stop_at_iteration ctl i with
+    | Some r -> (r :> stopped)
+    | None ->
+        if i >= max_iterations then `Iterations
+        else if barren >= patience || frontier = [] then `Converged
+        else begin
+          let before = Cost_engine.snapshot eng in
+          (* configurations reached by commuting step orders collide:
+             dedupe within the level, but blacklist globally only what
+             the beam actually keeps — otherwise a discarded sibling
+             blocks the path that needs the same configuration one
+             level later *)
+          let level_seen = Hashtbl.create 32 in
+          (* fingerprinting and costing are the two expensive
+             per-candidate passes; both fan out over [jobs] chunks,
+             with the sequential dedupe (first occurrence wins, in
+             discovery order) in between so the level is bit-identical
+             to a sequential one.  Both passes poll the budget, so an
+             exhausted budget abandons the level wholesale and the
+             result is the best-so-far over completed levels. *)
+          let raw =
+            List.concat_map (fun (s, _) -> Space.neighbors ~kinds s) frontier
+          in
+          match
+            let fingerprinted =
+              par_map ~jobs
+                (fun (step, s') ->
+                  Budget.poll ctl;
+                  (step, s', fingerprint s'))
+                raw
+            in
+            let deduped =
+              List.filter
+                (fun (_, _, fp) ->
+                  if Hashtbl.mem seen fp || Hashtbl.mem level_seen fp then false
+                  else begin
+                    Hashtbl.replace level_seen fp ();
+                    true
+                  end)
+                fingerprinted
+            in
+            par_cost eng ~check ~jobs ~schema_of:(fun (_, s', _) -> s') deduped
+          with
+          | exception Budget.Exhausted r -> (r :> stopped)
+          | costed -> (
+              let level_failures =
+                failures_of ~iteration:(i + 1)
+                  ~step_of:(fun (step, _, _) -> step)
+                  costed
+              in
+              if level_failures <> [] then
+                all_failures := level_failures :: !all_failures;
+              let candidates =
+                List.filter_map
+                  (fun ((step, s', fp), costed) ->
+                    match costed with
+                    | Ok c -> Some (step, s', c, fp)
+                    | Error _ -> None)
+                  costed
+              in
+              let sorted =
+                List.sort
+                  (fun (_, _, a, _) (_, _, b, _) -> Float.compare a b)
+                  candidates
+              in
+              let keep =
+                List.filteri (fun j _ -> j < width) sorted
+                |> List.map (fun (step, s, c, fp) ->
+                       Hashtbl.replace seen fp ();
+                       (step, s, c))
+              in
 
-      match keep with
-      | [] -> ()
-      | (step, s0, c0) :: _ ->
-          let improved = c0 < snd !best in
-          if improved then begin
-            best := (s0, c0);
-            trace :=
-              {
-                iteration = i + 1;
-                cost = c0;
-                step = Some step;
-                tables = table_count s0;
-                engine = Cost_engine.diff (Cost_engine.snapshot eng) before;
-              }
-              :: !trace
-          end;
-          (* continue from every kept candidate, improving or not: the
-             beam can cross small cost hills, but gives up after
-             [patience] barren levels *)
-          level (i + 1)
-            (if improved then 0 else barren + 1)
-            (List.map (fun (_, s, c) -> (s, c)) keep)
-    end
+              match keep with
+              | [] -> `Converged
+              | (step, s0, c0) :: _ ->
+                  let improved = c0 < snd !best in
+                  if improved then begin
+                    best := (s0, c0);
+                    trace :=
+                      {
+                        iteration = i + 1;
+                        cost = c0;
+                        step = Some step;
+                        tables = table_count s0;
+                        engine =
+                          Cost_engine.diff (Cost_engine.snapshot eng) before;
+                        failures = level_failures;
+                      }
+                      :: !trace
+                  end;
+                  (* continue from every kept candidate, improving or
+                     not: the beam can cross small cost hills, but gives
+                     up after [patience] barren levels *)
+                  level (i + 1)
+                    (if improved then 0 else barren + 1)
+                    (List.map (fun (_, s, c) -> (s, c)) keep))
+        end
   in
-  level 0 0 [ (schema, initial_cost) ];
+  let stopped = level 0 0 [ (schema, initial_cost) ] in
   let schema, cost = !best in
   {
     schema;
     cost;
     trace = List.rev !trace;
     engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+    stopped;
+    failures = List.concat (List.rev !all_failures);
   }

@@ -21,7 +21,23 @@
     bit-identical for every [jobs] value; only wall-clock time and the
     cache hit/miss counters vary (chunks cannot see each other's
     in-flight entries, so [jobs > 1] may record more misses).
-    [~jobs:0] auto-detects one job per core; the default is [1]. *)
+    [~jobs:0] auto-detects one job per core; the default is [1].
+
+    Every strategy also accepts [?budget] (see {!Budget}), making it
+    an {e anytime} algorithm: when the budget trips — deadline,
+    iteration cap, evaluation cap, or interrupt — the in-flight
+    iteration is abandoned wholesale and the search returns the best
+    configuration over the {e completed} iterations, with
+    [result.stopped] naming the reason.  A search budgeted by
+    iterations or evaluations returns exactly the same best-so-far
+    prefix of the unbudgeted trace for every [jobs] value (see the
+    determinism note in {!Budget}).
+
+    Candidates the costing pipeline cannot price are no longer
+    silently dropped: each one yields a {!failure} record (step,
+    pipeline stage, exception class, message) in its iteration's
+    {!trace_entry} and in [result.failures], and is counted in the
+    engine snapshots. *)
 
 open Legodb_xtype
 open Legodb_transform
@@ -54,6 +70,34 @@ val pschema_cost :
     {!Cost_engine.create} with the same arguments produces bit-identical
     floats. *)
 
+type stopped =
+  [ `Converged  (** no neighbor improves: the algorithm's own stop *)
+  | `Deadline  (** wall-clock budget expired *)
+  | `Iterations  (** iteration cap reached (budget or [max_iterations]) *)
+  | `Cost_budget  (** evaluation budget spent *)
+  | `Interrupted  (** {!Budget.interrupt} tripped, e.g. by [SIGINT] *) ]
+(** Why the search returned: convergence, or the {!Budget.reason} that
+    cut it short. *)
+
+val stopped_string : stopped -> string
+(** Stable lowercase name (["converged"], ["deadline"], …) for logs
+    and JSON. *)
+
+val pp_stopped : Format.formatter -> stopped -> unit
+
+type failure = {
+  f_iteration : int;  (** iteration (or beam level) that costed it *)
+  f_step : Space.step;  (** the transformation that built the candidate *)
+  f_stage : string;  (** pipeline stage, as {!Cost_engine.fault} *)
+  f_class : string;  (** exception class, as {!Cost_engine.fault} *)
+  f_message : string;
+}
+(** One candidate configuration the costing pipeline failed on.  The
+    search skips the candidate (it cannot win the iteration) but
+    records the failure instead of dropping it silently. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
 type trace_entry = {
   iteration : int;
   cost : float;
@@ -61,8 +105,11 @@ type trace_entry = {
   tables : int;  (** size of the configuration's catalog *)
   engine : Cost_engine.snapshot;
       (** this iteration's engine work: configurations costed, cache
-          hits/misses, per-layer wall time (iteration 0 carries the
-          initial configuration's evaluation) *)
+          hits/misses, faults, per-layer wall time (iteration 0 carries
+          the initial configuration's evaluation) *)
+  failures : failure list;
+      (** candidates this iteration could not cost, in candidate
+          order *)
 }
 
 type result = {
@@ -70,6 +117,11 @@ type result = {
   cost : float;
   trace : trace_entry list;  (** iteration 0 first *)
   engine : Cost_engine.snapshot;  (** whole-search engine totals *)
+  stopped : stopped;  (** why the search returned *)
+  failures : failure list;
+      (** every uncostable candidate over the whole search, in
+          iteration then candidate order (includes iterations whose
+          trace entry was not kept) *)
 }
 
 val greedy :
@@ -82,6 +134,7 @@ val greedy :
   ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
+  ?budget:Budget.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -112,6 +165,7 @@ val greedy_so :
   ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
+  ?budget:Budget.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -129,6 +183,7 @@ val greedy_si :
   ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
+  ?budget:Budget.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -149,6 +204,7 @@ val beam :
   ?jobs:int ->
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
+  ?budget:Budget.t ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result

@@ -21,6 +21,7 @@ let () =
       ("search", Test_search.suite);
       ("cost-engine", Test_cost_engine.suite);
       ("par", Test_par.suite);
+      ("budget", Test_budget.suite);
       ("updates", Test_updates.suite);
       ("beam", Test_search.beam_suite);
       ("integration", Test_integration.suite);

@@ -118,6 +118,22 @@ let suite =
         match Par.run_list fs with
         | _ -> Alcotest.fail "expected Not_found"
         | exception Not_found -> ());
+    case "pool survives a poisoned chunk" (fun () ->
+        (* a task that raises must not kill its worker: later fan-outs
+           on the same (global) pool still complete and stay ordered *)
+        let expected = List.init 20 (fun i -> i * i) in
+        for round = 1 to 3 do
+          (match
+             Par.run_list
+               [ (fun () -> 1); (fun () -> failwith "poison"); (fun () -> 3) ]
+           with
+          | _ -> Alcotest.fail "expected Failure"
+          | exception Failure _ -> ());
+          check_bool
+            (Printf.sprintf "usable after poison (round %d)" round)
+            true
+            (Par.run_list (List.init 20 (fun i () -> i * i)) = expected)
+        done);
     case "merged snapshot sums the shard counters exactly" (fun () ->
         let eng, _, shards = shard_fixture () in
         let snaps = List.map Cost_engine.shard_snapshot shards in

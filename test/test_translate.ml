@@ -218,4 +218,51 @@ let suite =
                 | exception Xq_translate.Untranslatable _ -> ())
               Imdb.Queries.all)
           [ Lazy.force m_inlined; Lazy.force m_outlined ]);
+    (* error paths: each Untranslatable carries a message naming the
+       problem, so the search's failure records (and the CLI's one-line
+       errors) say something actionable *)
+    case "unbound variable is untranslatable with the variable named"
+      (fun () ->
+        let q =
+          {
+            Xq_ast.name = "bad";
+            body =
+              {
+                Xq_ast.bindings = [ ("v", Xq_ast.Doc [ "imdb"; "show" ]) ];
+                where = [];
+                return = [ Xq_ast.R_path ("w", [ "title" ]) ];
+              };
+          }
+        in
+        match Xq_translate.translate (Lazy.force m_inlined) q with
+        | _ -> Alcotest.fail "expected Untranslatable"
+        | exception Xq_translate.Untranslatable msg ->
+            check_bool "names the variable" true
+              (contains msg "unbound variable $w"));
+    case "empty document path is untranslatable" (fun () ->
+        let q =
+          {
+            Xq_ast.name = "bad";
+            body =
+              {
+                Xq_ast.bindings = [ ("v", Xq_ast.Doc []) ];
+                where = [];
+                return = [ Xq_ast.R_var "v" ];
+              };
+          }
+        in
+        match Xq_translate.translate (Lazy.force m_inlined) q with
+        | _ -> Alcotest.fail "expected Untranslatable"
+        | exception Xq_translate.Untranslatable msg ->
+            check_bool "says the path is empty" true
+              (contains msg "empty document path"));
+    case "insert into a scalar has no storage target" (fun () ->
+        let u =
+          Xq_parse.parse_update ~name:"bad-ins" "INSERT imdb/show/title"
+        in
+        match Xq_translate.translate_update (Lazy.force m_inlined) u with
+        | _ -> Alcotest.fail "expected Untranslatable"
+        | exception Xq_translate.Untranslatable msg ->
+            check_bool "says there is no element target" true
+              (contains msg "no element storage target"));
   ]
