@@ -770,3 +770,110 @@ let budget_sweep ?(jobs = 1) ?(smoke = false) () =
     close_out oc;
     print_endline "[wrote BENCH_budget_sweep.json]"
   end
+
+(* ------------------------------------------------------------------ *)
+(* checkpoint_resume: kill a search, resume the snapshot, same answer  *)
+(* ------------------------------------------------------------------ *)
+
+(* The durable-checkpoint guarantee, asserted rather than plotted: a
+   search stopped by a budget while snapshotting to disk, then resumed
+   from that file by a *fresh* engine and budget (everything a crash
+   would lose), returns the same design bit for bit — cost, schema,
+   trace, stop reason — as a run that was never interrupted, at every
+   jobs value.  Each row also records how much costing work the warm
+   snapshot saved the resumed process. *)
+let checkpoint_resume ?(jobs = 1) ?(smoke = false) () =
+  print_endline
+    "\nDurable checkpoints: kill-and-resume matches the uninterrupted run\n\
+     ==================================================================";
+  let schema = annotated Imdb.Stats.full in
+  let workload = Imdb.Workloads.mixed 0.5 in
+  let full = Search.greedy_si ~params ~workload schema in
+  let total_iters = List.length full.Search.trace - 1 in
+  Printf.printf "uninterrupted: cost %.1f, %d iterations, %d configs costed\n%!"
+    full.Search.cost total_iters full.Search.engine.Cost_engine.evaluations;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "[";
+  let first_row = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun row ->
+        if not !first_row then Buffer.add_string buf ",";
+        first_row := false;
+        Buffer.add_string buf row)
+      fmt
+  in
+  let jobs_sweep =
+    List.sort_uniq compare
+      (List.filter (fun j -> j >= 1) (if smoke then [ 1; jobs ] else [ 1; 2; jobs ]))
+  in
+  let check ~label ~budget_of ~warm j =
+    let path = Filename.temp_file "legodb_bench" ".ckpt" in
+    let stopped =
+      Search.greedy_si ~params ~jobs:j ~budget:(budget_of ())
+        ~checkpoint:(path, 1) ~workload schema
+    in
+    let resumed = Search.resume ~params ~jobs:j ~warm ~workload path in
+    Sys.remove path;
+    let fail fmt =
+      Printf.ksprintf
+        (fun m -> failwith (Printf.sprintf "checkpoint_resume: %s: %s" label m))
+        fmt
+    in
+    if not (Float.equal resumed.Search.cost full.Search.cost) then
+      fail "resumed cost %.3f <> %.3f" resumed.Search.cost full.Search.cost;
+    if
+      not
+        (String.equal
+           (Xschema.to_string resumed.Search.schema)
+           (Xschema.to_string full.Search.schema))
+    then fail "resumed schema differs";
+    if not (same_trace resumed.Search.trace full.Search.trace) then
+      fail "resumed trace differs";
+    if resumed.Search.stopped <> full.Search.stopped then
+      fail "resumed stopped %s <> %s"
+        (Search.stopped_string resumed.Search.stopped)
+        (Search.stopped_string full.Search.stopped);
+    Printf.printf
+      "%-12s -j %-3d %s  stopped after %d iters, resumed to cost %12.1f \
+       (costed %d of %d configs)\n\
+       %!"
+      label j
+      (if warm then "warm" else "cold")
+      (List.length stopped.Search.trace - 1)
+      resumed.Search.cost resumed.Search.engine.Cost_engine.evaluations
+      full.Search.engine.Cost_engine.evaluations;
+    emit
+      "\n\
+       \  {\"kind\": \"checkpoint_resume\", \"stop\": \"%s\", \"jobs\": %d, \
+       \"warm\": %b, \"stopped_iters\": %d, \"resumed_cost\": %.1f, \
+       \"resumed_evals\": %d, \"full_evals\": %d}"
+      label j warm
+      (List.length stopped.Search.trace - 1)
+      resumed.Search.cost resumed.Search.engine.Cost_engine.evaluations
+      full.Search.engine.Cost_engine.evaluations
+  in
+  List.iter
+    (fun j ->
+      (* stop at an iteration barrier, and mid-iteration on a ticket
+         budget — the snapshot must hold barrier state only *)
+      check ~label:"iters<=1"
+        ~budget_of:(fun () -> Budget.create ~max_iterations:1 ())
+        ~warm:true j;
+      check ~label:"evals<=20"
+        ~budget_of:(fun () -> Budget.create ~max_evaluations:20 ())
+        ~warm:true j;
+      if not smoke then
+        check ~label:"evals<=20"
+          ~budget_of:(fun () -> Budget.create ~max_evaluations:20 ())
+          ~warm:false j)
+    jobs_sweep;
+  Buffer.add_string buf "\n]\n";
+  print_newline ();
+  print_string (Buffer.contents buf);
+  if not smoke then begin
+    let oc = open_out "BENCH_checkpoint_resume.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "[wrote BENCH_checkpoint_resume.json]"
+  end

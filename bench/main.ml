@@ -97,6 +97,7 @@ let experiments ~jobs ~smoke =
     ("ablation", Experiments.ablation);
     ("search_perf", fun () -> Experiments.search_perf ~jobs ~smoke ());
     ("budget_sweep", fun () -> Experiments.budget_sweep ~jobs ~smoke ());
+    ("checkpoint_resume", fun () -> Experiments.checkpoint_resume ~jobs ~smoke ());
     ("micro", micro);
   ]
 

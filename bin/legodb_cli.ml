@@ -151,8 +151,34 @@ let design_cmd =
     in
     Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
   in
+  let checkpoint =
+    let doc =
+      "Write a durable snapshot of the search state to $(docv) (atomically: \
+       tmp + rename) at iteration barriers and on every stop — including \
+       Ctrl-C — so an interrupted run can be continued with $(b,--resume)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Snapshot every $(docv) completed iterations." in
+    Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let resume =
+    let doc =
+      "Continue a search from a snapshot written by $(b,--checkpoint) instead \
+       of starting fresh; the strategy, transformation kinds, threshold, and \
+       progress so far come from the snapshot ($(b,--schema), \
+       $(b,--strategy), and $(b,--threshold) are ignored), while the \
+       workload, budget, and $(b,-j) are taken from this invocation and must \
+       match the original run's for bit-identical continuation.  Unless \
+       $(b,--checkpoint) says otherwise, the resumed run keeps snapshotting \
+       to the same file."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
   let run schema_name sample workload strategy threshold indexes jobs budget_ms
-      max_iters max_evals =
+      max_iters max_evals ckpt_path ckpt_every resume_path =
     match schema_of_name schema_name with
     | Error m -> fail "%s" m
     | Ok schema -> (
@@ -162,23 +188,36 @@ let design_cmd =
             let stats = load_stats schema sample in
             let annotated = Annotate.schema stats schema in
             (* the budget doubles as the Ctrl-C channel: SIGINT trips it,
-               the search unwinds cooperatively, and the best-so-far
-               design is reported instead of a backtrace *)
+               the search unwinds cooperatively, the final snapshot is
+               written at the barrier, and the best-so-far design is
+               reported instead of a backtrace *)
             let budget =
               Budget.create ?wall_ms:budget_ms ?max_iterations:max_iters
                 ?max_evaluations:max_evals ()
             in
+            let checkpoint =
+              match (ckpt_path, resume_path) with
+              | Some p, _ | None, Some p -> Some (p, ckpt_every)
+              | None, None -> None
+            in
             let search =
-              match strategy with
-              | "si" ->
+              match resume_path with
+              | Some path ->
                   Ok
-                    (Search.greedy_si ~workload_indexes:indexes ~threshold
-                       ~jobs ~budget ~workload:w)
-              | "so" ->
-                  Ok
-                    (Search.greedy_so ~workload_indexes:indexes ~threshold
-                       ~jobs ~budget ~workload:w)
-              | s -> Error (Printf.sprintf "unknown strategy %S" s)
+                    (fun _initial ->
+                      Search.resume ~workload_indexes:indexes ~jobs ~budget
+                        ?checkpoint ~workload:w path)
+              | None -> (
+                  match strategy with
+                  | "si" ->
+                      Ok
+                        (Search.greedy_si ~workload_indexes:indexes ~threshold
+                           ~jobs ~budget ?checkpoint ~workload:w)
+                  | "so" ->
+                      Ok
+                        (Search.greedy_so ~workload_indexes:indexes ~threshold
+                           ~jobs ~budget ?checkpoint ~workload:w)
+                  | s -> Error (Printf.sprintf "unknown strategy %S" s))
             in
             match search with
             | Error m -> fail "%s" m
@@ -215,7 +254,8 @@ let design_cmd =
     Term.(
       ret
         (const run $ schema_arg $ sample_arg $ workload_arg $ strategy
-       $ threshold $ indexes $ jobs $ budget_ms $ max_iters $ max_evals))
+       $ threshold $ indexes $ jobs $ budget_ms $ max_iters $ max_evals
+       $ checkpoint $ checkpoint_every $ resume))
   in
   Cmd.v
     (Cmd.info "design"
@@ -411,7 +451,10 @@ let transforms_cmd =
      4  untranslatable query
      5  parse error (schema, query, or XML)
      6  shredding failure
-   130  interrupted (SIGINT; the best-so-far design is still printed) *)
+     7  corrupt checkpoint snapshot (--resume refuses it; never a
+        silent restart)
+   130  interrupted (SIGINT; the best-so-far design is still printed,
+        and with --checkpoint a final snapshot is written first) *)
 let () =
   let info =
     Cmd.info "legodb" ~version:"1.0.0"
@@ -451,6 +494,9 @@ let () =
     | Shred.Shred_error { path; message } ->
         oneliner "shredding failed at %s: %s" (String.concat "/" path) message;
         6
+    | Checkpoint.Corrupt m ->
+        oneliner "corrupt checkpoint: %s" m;
+        7
     | Sys_error m ->
         oneliner "%s" m;
         2)

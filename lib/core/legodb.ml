@@ -39,6 +39,7 @@ module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
 module Budget = Legodb_search.Budget
+module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 
 module Imdb = struct

@@ -53,6 +53,7 @@ module Publish = Legodb_mapping.Publish
 module Search = Legodb_search.Search
 module Cost_engine = Legodb_search.Cost_engine
 module Budget = Legodb_search.Budget
+module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 
 (** The IMDB application of the paper's evaluation. *)

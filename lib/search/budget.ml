@@ -26,6 +26,10 @@ let create ?wall_ms ?max_iterations ?max_evaluations () =
   }
 
 let unlimited () = create ()
+
+(* resume accounting: pre-draw the tickets a previous process spent so
+   a cumulative evaluation budget trips at the same candidate *)
+let charge t n = if n > 0 then ignore (Atomic.fetch_and_add t.evals n)
 let interrupt t = Atomic.set t.intr true
 let interrupted t = Atomic.get t.intr
 let evaluations t = Atomic.get t.evals

@@ -54,6 +54,12 @@ val interrupted : t -> bool
 val evaluations : t -> int
 (** Tickets drawn so far (candidate configurations costed). *)
 
+val charge : t -> int -> unit
+(** Pre-draw [n] tickets without costing anything.  {!Search.resume}
+    charges a fresh budget with the snapshot's ticket count, so a
+    cumulative [max_evaluations] across stop/resume cycles trips at
+    exactly the same candidate as it would in one uninterrupted run. *)
+
 val poll : t -> unit
 (** Cooperative cancellation point without a ticket: raises
     {!Exhausted} on a tripped interrupt or a passed deadline. *)

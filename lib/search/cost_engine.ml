@@ -65,6 +65,8 @@ type t = {
   memoize : bool;
   oracle : bool;
   inject : (string -> bool) option;
+  per_query_timeout_ms : float option;
+  clock : unit -> float;
   cache : (string, float) Hashtbl.t;
   c : counters;
 }
@@ -76,7 +78,8 @@ type shard = {
 }
 
 let create ?params ?(workload_indexes = false) ?(updates = [])
-    ?(memoize = true) ?(oracle = false) ?inject ~workload () =
+    ?(memoize = true) ?(oracle = false) ?inject ?per_query_timeout_ms
+    ?(clock = Unix.gettimeofday) ~workload () =
   {
     params;
     workload_indexes;
@@ -85,11 +88,11 @@ let create ?params ?(workload_indexes = false) ?(updates = [])
     memoize;
     oracle;
     inject;
+    per_query_timeout_ms;
+    clock;
     cache = Hashtbl.create 256;
     c = fresh_counters ();
   }
-
-let now = Unix.gettimeofday
 
 (* The cache key of one statement: its position in the workload plus
    the sorted fingerprints of the tables it touches.  Sorting the
@@ -128,6 +131,7 @@ let cost_into ?(check = ignore) ~find ~add (t : t) (c : counters) schema =
              message = "injected fault";
            })
   | _ -> ());
+  let now = t.clock in
   let t0 = now () in
   let m =
     match Mapping.of_pschema schema with
@@ -177,7 +181,26 @@ let cost_into ?(check = ignore) ~find ~add (t : t) (c : counters) schema =
     let compute () =
       let t2 = now () in
       let v = fresh () in
-      c.t_optimize <- c.t_optimize +. (now () -. t2);
+      let dt = now () -. t2 in
+      c.t_optimize <- c.t_optimize +. dt;
+      (* a statement that overran the per-query bound poisons the whole
+         configuration: costing it to completion was unavoidable (the
+         optimizer is not preemptible between [?check] polls), but the
+         remaining statements are abandoned and the candidate is
+         accounted as a structured fault instead of eating the budget *)
+      (match t.per_query_timeout_ms with
+      | Some limit when dt *. 1000. > limit ->
+          raise
+            (Fault
+               {
+                 stage = "optimize";
+                 exn_class = "Cost_timeout";
+                 message =
+                   Printf.sprintf
+                     "statement %c%d took %.1f ms (per-query timeout %.1f ms)"
+                     kind index (dt *. 1000.) limit;
+               })
+      | _ -> ());
       v
     in
     if not t.memoize then compute ()
@@ -301,6 +324,16 @@ let merge t shards =
       sh.sc.t_translate <- 0.;
       sh.sc.t_optimize <- 0.)
     shards
+
+(* sorted so a snapshot of the cache is deterministic: the on-disk
+   checkpoint of a given search state is byte-identical regardless of
+   hash-table iteration order *)
+let cache_entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cache []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let seed_cache t entries =
+  List.iter (fun (k, v) -> Hashtbl.replace t.cache k v) entries
 
 let snapshot_of (c : counters) : snapshot =
   {

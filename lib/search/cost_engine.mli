@@ -24,11 +24,12 @@ exception Cost_error of string
 
 type fault = {
   stage : string;
-      (** pipeline stage that failed: ["mapping"], ["translate"], or
-          ["inject"] *)
+      (** pipeline stage that failed: ["mapping"], ["translate"],
+          ["optimize"], or ["inject"] *)
   exn_class : string;
-      (** exception class: ["Mapping_error"], ["Untranslatable"], or
-          ["Injected"] — a stable name for fault accounting *)
+      (** exception class: ["Mapping_error"], ["Untranslatable"],
+          ["Cost_timeout"], or ["Injected"] — a stable name for fault
+          accounting *)
   message : string;  (** the underlying error message *)
 }
 (** One candidate configuration the pipeline could not cost.
@@ -56,6 +57,8 @@ val create :
   ?memoize:bool ->
   ?oracle:bool ->
   ?inject:(string -> bool) ->
+  ?per_query_timeout_ms:float ->
+  ?clock:(unit -> float) ->
   workload:Legodb_xquery.Workload.t ->
   unit ->
   t
@@ -74,7 +77,22 @@ val create :
     function of the configuration, an injected fault fires identically
     for every [~jobs] value and on every revisit — a search with
     injected faults must select exactly what a search with those
-    candidates filtered out would. *)
+    candidates filtered out would.
+
+    [?per_query_timeout_ms] bounds each {e statement} costing (the
+    ROADMAP's per-query cost timeout).  The optimizer is not
+    preemptible between [?check] polls, so the bound is enforced
+    cooperatively: a statement whose costing overruns it makes the
+    whole configuration fail with a fault of stage ["optimize"] and
+    class ["Cost_timeout"], abandoning its remaining statements — a
+    pathological query charges the budget one overrun, not the rest of
+    the wall clock.  Unset (the default) means unbounded, preserving
+    the bit-identical determinism guarantees; with a timeout set,
+    which candidates fault can depend on machine speed.
+
+    [?clock] (default [Unix.gettimeofday]) is the time source for the
+    per-phase timers and the per-query timeout — injectable so tests
+    drive the timeout deterministically with a fake clock. *)
 
 (** Every costing entry point takes an optional [?check] hook, called
     once at entry before any work: a cooperative cancellation point.
@@ -154,6 +172,21 @@ val merge : t -> shard list -> unit
 
 val snapshot : t -> snapshot
 (** Cumulative counters since [create]. *)
+
+(** {1 Cache persistence}
+
+    A checkpoint can carry the memo table so a resumed search starts
+    warm; because the cache is pure memoization, a warm and a cold
+    resume return bit-identical results — only the hit/miss counters
+    and timers differ. *)
+
+val cache_entries : t -> (string * float) list
+(** The memo table as (key, cost) pairs, sorted by key so the same
+    engine state always serializes to the same bytes. *)
+
+val seed_cache : t -> (string * float) list -> unit
+(** Preload memo entries (e.g. from {!Checkpoint.state.cache}) into a
+    fresh engine before resuming. *)
 
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] — per-phase deltas, e.g. one iteration's. *)

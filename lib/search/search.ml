@@ -107,7 +107,9 @@ let stopped_string = function
 
 let pp_stopped fmt s = Format.pp_print_string fmt (stopped_string s)
 
-type failure = {
+(* the canonical definitions live in Checkpoint (which serializes
+   them); re-exported here so the public API is unchanged *)
+type failure = Checkpoint.failure = {
   f_iteration : int;
   f_step : Space.step;
   f_stage : string;
@@ -119,7 +121,7 @@ let pp_failure fmt f =
   Format.fprintf fmt "iteration %d: %a: %s (%s: %s)" f.f_iteration
     Space.pp_step f.f_step f.f_class f.f_stage f.f_message
 
-type trace_entry = {
+type trace_entry = Checkpoint.trace_entry = {
   iteration : int;
   cost : float;
   step : Space.step option;
@@ -161,33 +163,76 @@ let table_count schema =
        (fun ty -> not (Mapping.is_transparent schema ty))
        (Xschema.reachable schema))
 
-let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(threshold = 0.) ?(max_iterations = 200) ?(jobs = 1) ?memoize ?engine
-    ?budget ~workload schema =
+(* ------------------------------------------------------------------ *)
+(* checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Both strategies snapshot only {e barrier} state: the position after
+   the last completed iteration, with the ticket count read at that
+   barrier (in-flight iterations draw tickets nondeterministically and
+   record nothing else, so excluding them is what makes resume
+   bit-identical).  [trace] arrives newest-first and [failures] as
+   reversed per-iteration chunks — the loops' internal accumulators —
+   and is flattened here into the wire order. *)
+let save_checkpoint ~checkpoint ~strategy ~kinds ~max_iterations ~eng
+    ~iteration ~evaluations ~trace ~failures point =
+  match checkpoint with
+  | None -> ()
+  | Some (path, _) ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.strategy;
+          kinds;
+          max_iterations;
+          iteration;
+          evaluations;
+          trace = List.rev trace;
+          failures = List.concat (List.rev failures);
+          point;
+          cache = Cost_engine.cache_entries eng;
+        }
+
+(* periodic snapshots fire at the barrier entering iteration
+   [iteration + 1], every [every] completed iterations *)
+let due ~checkpoint ~iteration =
+  match checkpoint with
+  | Some (_, every) when every > 0 && iteration > 0 && iteration mod every = 0
+    ->
+      true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* greedy descent (Algorithm 4.1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The loop proper, shared by a fresh search and a resumed one: a
+   resumed search enters with the snapshot's barrier state and runs
+   the very same code, which is the bit-identity argument in one line.
+   [trace0] is newest-first; [failures0] is reversed chunks. *)
+let greedy_core ~strategy ~kinds ~threshold ~max_iterations ~jobs ~ctl ~eng
+    ~checkpoint ~start ~iteration0 ~schema0 ~cost0 ~trace0 ~failures0 =
   let jobs = resolve_jobs jobs in
-  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
   let check () = Budget.tick ctl in
-  let eng =
-    match engine with
-    | Some e -> e
-    | None ->
-        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
-          ~workload ()
-  in
-  let start = Cost_engine.snapshot eng in
-  (* the initial configuration is exempt from the budget (no ticket,
-     no cancellation): anytime search always has a result to return *)
-  let initial_cost =
-    match Cost_engine.cost_opt eng schema with
-    | Some c -> c
-    | None -> raise (Cost_error "initial configuration cannot be costed")
-  in
   let rec descend iteration schema cost trace failures =
+    (* barrier: no costing in flight, so the ticket counter is the
+       deterministic per-completed-iteration value *)
+    let bar_evals = Budget.evaluations ctl in
+    let snap () =
+      save_checkpoint ~checkpoint ~strategy ~kinds ~max_iterations ~eng
+        ~iteration ~evaluations:bar_evals ~trace ~failures
+        (Checkpoint.Greedy
+           { g_schema = schema; g_cost = cost; g_threshold = threshold })
+    in
+    if due ~checkpoint ~iteration then snap ();
     match Budget.stop_at_iteration ctl iteration with
-    | Some r -> (schema, cost, trace, failures, (r :> stopped))
+    | Some r ->
+        snap ();
+        (schema, cost, trace, failures, (r :> stopped))
     | None -> (
-        if iteration >= max_iterations then
+        if iteration >= max_iterations then begin
+          snap ();
           (schema, cost, trace, failures, `Iterations)
+        end
         else
           let before = Cost_engine.snapshot eng in
           match
@@ -197,13 +242,16 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
           | exception Budget.Exhausted r ->
               (* the iteration is abandoned wholesale: the result is
                  the best-so-far over *completed* iterations, i.e. a
-                 prefix of the unbudgeted trace *)
+                 prefix of the unbudgeted trace — and the snapshot is
+                 that same barrier state, so resume re-runs the
+                 abandoned iteration from scratch *)
+              snap ();
               (schema, cost, trace, failures, (r :> stopped))
           | costed -> (
               let iter_failures =
                 failures_of ~iteration:(iteration + 1) ~step_of:fst costed
               in
-              let failures =
+              let failures' =
                 match iter_failures with [] -> failures | l -> l :: failures
               in
               (* candidates are reduced sequentially in Space.neighbors
@@ -233,8 +281,46 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
                       failures = iter_failures;
                     }
                   in
-                  descend (iteration + 1) schema' cost' (entry :: trace) failures
-              | Some _ | None -> (schema, cost, trace, failures, `Converged)))
+                  descend (iteration + 1) schema' cost' (entry :: trace)
+                    failures'
+              | Some _ | None ->
+                  (* converged; the snapshot is still the barrier state
+                     (without this iteration's failures) — resuming it
+                     re-runs the final iteration and re-converges with
+                     the identical failure records *)
+                  snap ();
+                  (schema, cost, trace, failures', `Converged)))
+  in
+  let schema, cost, trace, failures, stopped =
+    descend iteration0 schema0 cost0 trace0 failures0
+  in
+  {
+    schema;
+    cost;
+    trace = List.rev trace;
+    engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+    stopped;
+    failures = List.concat (List.rev failures);
+  }
+
+let greedy_from ~strategy ?params ?workload_indexes ?updates
+    ?(kinds = Space.default_kinds) ?(threshold = 0.) ?(max_iterations = 200)
+    ?(jobs = 1) ?memoize ?engine ?budget ?checkpoint ~workload schema =
+  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
+  let eng =
+    match engine with
+    | Some e -> e
+    | None ->
+        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
+          ~workload ()
+  in
+  let start = Cost_engine.snapshot eng in
+  (* the initial configuration is exempt from the budget (no ticket,
+     no cancellation): anytime search always has a result to return *)
+  let initial_cost =
+    match Cost_engine.cost_opt eng schema with
+    | Some c -> c
+    | None -> raise (Cost_error "initial configuration cannot be costed")
   in
   let trace0 =
     [
@@ -248,27 +334,29 @@ let greedy ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
       };
     ]
   in
-  let schema, cost, trace, failures, stopped =
-    descend 0 schema initial_cost trace0 []
-  in
-  {
-    schema;
-    cost;
-    trace = List.rev trace;
-    engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
-    stopped;
-    failures = List.concat (List.rev failures);
-  }
+  greedy_core ~strategy ~kinds ~threshold ~max_iterations ~jobs ~ctl ~eng
+    ~checkpoint ~start ~iteration0:0 ~schema0:schema ~cost0:initial_cost
+    ~trace0 ~failures0:[]
+
+let greedy ?params ?workload_indexes ?updates ?kinds ?threshold ?max_iterations
+    ?jobs ?memoize ?engine ?budget ?checkpoint ~workload schema =
+  greedy_from ~strategy:"greedy" ?params ?workload_indexes ?updates ?kinds
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ?checkpoint
+    ~workload schema
 
 let greedy_so ?params ?workload_indexes ?updates ?(kinds = [ Space.K_inline ])
-    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ~workload schema =
-  greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?jobs ?memoize ?engine ?budget ~workload (Init.all_outlined schema)
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ?checkpoint
+    ~workload schema =
+  greedy_from ~strategy:"greedy_so" ?params ?workload_indexes ?updates ~kinds
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ?checkpoint
+    ~workload (Init.all_outlined schema)
 
 let greedy_si ?params ?workload_indexes ?updates ?(kinds = [ Space.K_outline ])
-    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ~workload schema =
-  greedy ?params ?workload_indexes ?updates ~kinds ?threshold ?max_iterations
-    ?jobs ?memoize ?engine ?budget ~workload (Init.all_inlined schema)
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ?checkpoint
+    ~workload schema =
+  greedy_from ~strategy:"greedy_si" ?params ?workload_indexes ?updates ~kinds
+    ?threshold ?max_iterations ?jobs ?memoize ?engine ?budget ?checkpoint
+    ~workload (Init.all_inlined schema)
 
 let pp_trace fmt trace =
   List.iter
@@ -295,50 +383,60 @@ let fingerprint schema =
   | Error _ -> Xschema.to_string schema
   | Ok m -> Mapping.catalog_fingerprint m.Mapping.catalog
 
-let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
-    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?(jobs = 1) ?memoize
-    ?engine ?budget ~workload schema =
+(* the beam loop, shared by fresh and resumed searches just like
+   [greedy_core] *)
+let beam_core ~strategy ~kinds ~width ~patience ~max_iterations ~jobs ~ctl
+    ~eng ~checkpoint ~start ~iteration0 ~barren0 ~frontier0 ~best0 ~seen0
+    ~trace0 ~failures0 =
   let jobs = resolve_jobs jobs in
-  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
   let check () = Budget.tick ctl in
-  let eng =
-    match engine with
-    | Some e -> e
-    | None ->
-        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
-          ~workload ()
-  in
-  let start = Cost_engine.snapshot eng in
-  (* the initial configuration is exempt from the budget (no ticket,
-     no cancellation): anytime search always has a result to return *)
-  let initial_cost =
-    match Cost_engine.cost_opt eng schema with
-    | Some c -> c
-    | None -> raise (Cost_error "initial configuration cannot be costed")
-  in
   let seen = Hashtbl.create 64 in
-  Hashtbl.replace seen (fingerprint schema) ();
-  let best = ref (schema, initial_cost) in
-  let trace =
-    ref
-      [
-        {
-          iteration = 0;
-          cost = initial_cost;
-          step = None;
-          tables = table_count schema;
-          engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
-          failures = [];
-        };
-      ]
-  in
-  let all_failures = ref [] in
+  List.iter (fun fp -> Hashtbl.replace seen fp ()) seen0;
+  let best = ref best0 in
+  let trace = ref trace0 in
+  let all_failures = ref failures0 in
   let rec level i barren frontier =
+    (* barrier state, captured before this level mutates anything: a
+       level that exits without recursing (converged, exhausted) must
+       snapshot the position *entering* it, or resume would double-run
+       whatever the exiting level recorded *)
+    let bar_evals = Budget.evaluations ctl in
+    let bar_trace = !trace in
+    let bar_failures = !all_failures in
+    let bar_best = !best in
+    let snap () =
+      let b_seen =
+        List.sort String.compare
+          (Hashtbl.fold (fun k () acc -> k :: acc) seen [])
+      in
+      save_checkpoint ~checkpoint ~strategy ~kinds ~max_iterations ~eng
+        ~iteration:i ~evaluations:bar_evals ~trace:bar_trace
+        ~failures:bar_failures
+        (Checkpoint.Beam
+           {
+             b_frontier = frontier;
+             b_best_schema = fst bar_best;
+             b_best_cost = snd bar_best;
+             b_seen;
+             b_barren = barren;
+             b_width = width;
+             b_patience = patience;
+           })
+    in
+    if due ~checkpoint ~iteration:i then snap ();
     match Budget.stop_at_iteration ctl i with
-    | Some r -> (r :> stopped)
+    | Some r ->
+        snap ();
+        (r :> stopped)
     | None ->
-        if i >= max_iterations then `Iterations
-        else if barren >= patience || frontier = [] then `Converged
+        if i >= max_iterations then begin
+          snap ();
+          `Iterations
+        end
+        else if barren >= patience || frontier = [] then begin
+          snap ();
+          `Converged
+        end
         else begin
           let before = Cost_engine.snapshot eng in
           (* configurations reached by commuting step orders collide:
@@ -377,7 +475,9 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
             in
             par_cost eng ~check ~jobs ~schema_of:(fun (_, s', _) -> s') deduped
           with
-          | exception Budget.Exhausted r -> (r :> stopped)
+          | exception Budget.Exhausted r ->
+              snap ();
+              (r :> stopped)
           | costed -> (
               let level_failures =
                 failures_of ~iteration:(i + 1)
@@ -407,7 +507,9 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
               in
 
               match keep with
-              | [] -> `Converged
+              | [] ->
+                  snap ();
+                  `Converged
               | (step, s0, c0) :: _ ->
                   let improved = c0 < snd !best in
                   if improved then begin
@@ -432,7 +534,7 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
                     (List.map (fun (_, s, c) -> (s, c)) keep))
         end
   in
-  let stopped = level 0 0 [ (schema, initial_cost) ] in
+  let stopped = level iteration0 barren0 frontier0 in
   let schema, cost = !best in
   {
     schema;
@@ -442,3 +544,95 @@ let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
     stopped;
     failures = List.concat (List.rev !all_failures);
   }
+
+let beam ?params ?workload_indexes ?updates ?(kinds = Space.default_kinds)
+    ?(width = 4) ?(patience = 3) ?(max_iterations = 200) ?(jobs = 1) ?memoize
+    ?engine ?budget ?checkpoint ~workload schema =
+  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
+  let eng =
+    match engine with
+    | Some e -> e
+    | None ->
+        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
+          ~workload ()
+  in
+  let start = Cost_engine.snapshot eng in
+  (* the initial configuration is exempt from the budget (no ticket,
+     no cancellation): anytime search always has a result to return *)
+  let initial_cost =
+    match Cost_engine.cost_opt eng schema with
+    | Some c -> c
+    | None -> raise (Cost_error "initial configuration cannot be costed")
+  in
+  let trace0 =
+    [
+      {
+        iteration = 0;
+        cost = initial_cost;
+        step = None;
+        tables = table_count schema;
+        engine = Cost_engine.diff (Cost_engine.snapshot eng) start;
+        failures = [];
+      };
+    ]
+  in
+  beam_core ~strategy:"beam" ~kinds ~width ~patience ~max_iterations ~jobs
+    ~ctl ~eng ~checkpoint ~start ~iteration0:0 ~barren0:0
+    ~frontier0:[ (schema, initial_cost) ]
+    ~best0:(schema, initial_cost)
+    ~seen0:[ fingerprint schema ]
+    ~trace0 ~failures0:[]
+
+(* ------------------------------------------------------------------ *)
+(* resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let resume ?params ?workload_indexes ?updates ?(jobs = 1) ?memoize ?engine
+    ?budget ?checkpoint ?max_iterations ?(warm = true) ~workload path =
+  let st = Checkpoint.load path in
+  let ctl = match budget with Some b -> b | None -> Budget.unlimited () in
+  (* restore the cumulative ticket numbering: the tickets the previous
+     process drew count against this budget's evaluation cap *)
+  Budget.charge ctl st.Checkpoint.evaluations;
+  let eng =
+    match engine with
+    | Some e -> e
+    | None ->
+        Cost_engine.create ?params ?workload_indexes ?updates ?memoize
+          ~workload ()
+  in
+  (* warm resume seeds the memo table from the snapshot; a cold resume
+     recomputes — bit-identical either way, the cache being pure
+     memoization, so [warm] only trades disk bytes for optimizer time *)
+  if warm then Cost_engine.seed_cache eng st.Checkpoint.cache;
+  let start = Cost_engine.snapshot eng in
+  let max_iterations =
+    match max_iterations with
+    | Some m -> m
+    | None -> st.Checkpoint.max_iterations
+  in
+  let trace0 = List.rev st.Checkpoint.trace in
+  let failures0 =
+    match st.Checkpoint.failures with [] -> [] | l -> [ l ]
+  in
+  match st.Checkpoint.point with
+  | Checkpoint.Greedy { g_schema; g_cost; g_threshold } ->
+      greedy_core ~strategy:st.Checkpoint.strategy ~kinds:st.Checkpoint.kinds
+        ~threshold:g_threshold ~max_iterations ~jobs ~ctl ~eng ~checkpoint
+        ~start ~iteration0:st.Checkpoint.iteration ~schema0:g_schema
+        ~cost0:g_cost ~trace0 ~failures0
+  | Checkpoint.Beam
+      {
+        b_frontier;
+        b_best_schema;
+        b_best_cost;
+        b_seen;
+        b_barren;
+        b_width;
+        b_patience;
+      } ->
+      beam_core ~strategy:st.Checkpoint.strategy ~kinds:st.Checkpoint.kinds
+        ~width:b_width ~patience:b_patience ~max_iterations ~jobs ~ctl ~eng
+        ~checkpoint ~start ~iteration0:st.Checkpoint.iteration
+        ~barren0:b_barren ~frontier0:b_frontier
+        ~best0:(b_best_schema, b_best_cost) ~seen0:b_seen ~trace0 ~failures0

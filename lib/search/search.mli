@@ -85,7 +85,7 @@ val stopped_string : stopped -> string
 
 val pp_stopped : Format.formatter -> stopped -> unit
 
-type failure = {
+type failure = Checkpoint.failure = {
   f_iteration : int;  (** iteration (or beam level) that costed it *)
   f_step : Space.step;  (** the transformation that built the candidate *)
   f_stage : string;  (** pipeline stage, as {!Cost_engine.fault} *)
@@ -98,7 +98,7 @@ type failure = {
 
 val pp_failure : Format.formatter -> failure -> unit
 
-type trace_entry = {
+type trace_entry = Checkpoint.trace_entry = {
   iteration : int;
   cost : float;
   step : Space.step option;  (** [None] for the initial configuration *)
@@ -135,6 +135,7 @@ val greedy :
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   ?budget:Budget.t ->
+  ?checkpoint:string * int ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -153,7 +154,15 @@ val greedy :
     and [?memoize] are then ignored, and the caller must pass a
     [~workload] consistent with the engine's.  The [engine] fields of
     the result and trace report the {e delta} incurred by this search,
-    so they compose with a shared engine. *)
+    so they compose with a shared engine.
+
+    [?checkpoint:(path, every)] makes the search durable: a
+    {!Checkpoint} snapshot of the barrier state is written atomically
+    to [path] every [every] completed iterations and on {e every} stop
+    — converged, budget exhausted, or interrupted — so a process
+    killed mid-search (or stopped by [SIGINT], which the CLI turns
+    into {!Budget.interrupt}) leaves a snapshot {!resume} can continue
+    from. *)
 
 val greedy_so :
   ?params:Legodb_optimizer.Cost.params ->
@@ -166,6 +175,7 @@ val greedy_so :
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   ?budget:Budget.t ->
+  ?checkpoint:string * int ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -184,6 +194,7 @@ val greedy_si :
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   ?budget:Budget.t ->
+  ?checkpoint:string * int ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -205,6 +216,7 @@ val beam :
   ?memoize:bool ->
   ?engine:Cost_engine.t ->
   ?budget:Budget.t ->
+  ?checkpoint:string * int ->
   workload:Legodb_xquery.Workload.t ->
   Xschema.t ->
   result
@@ -216,3 +228,41 @@ val beam :
     can therefore cross small cost hills the greedy descent cannot (it
     stops after [patience] levels without improvement, default 3).
     Returns the best configuration seen. *)
+
+val resume :
+  ?params:Legodb_optimizer.Cost.params ->
+  ?workload_indexes:bool ->
+  ?updates:(Legodb_xquery.Xq_ast.update * float) list ->
+  ?jobs:int ->
+  ?memoize:bool ->
+  ?engine:Cost_engine.t ->
+  ?budget:Budget.t ->
+  ?checkpoint:string * int ->
+  ?max_iterations:int ->
+  ?warm:bool ->
+  workload:Legodb_xquery.Workload.t ->
+  string ->
+  result
+(** Continue an interrupted search from a {!Checkpoint} snapshot file.
+    The snapshot supplies the state and the search identity — strategy,
+    transformation kinds, threshold / width / patience, iteration and
+    trace so far, and the budget ticket count ({!Budget.charge}d into
+    the fresh budget so a cumulative evaluation cap trips at the same
+    candidate) — while the caller re-supplies the {e inputs}: the
+    workload, updates, cost-model parameters, and fresh budget, which
+    must match the original run's for the bit-identity guarantee to
+    hold.  Because a snapshot always captures an iteration barrier and
+    abandoned iterations record nothing, stopping at any point and
+    resuming yields bit-identical cost, schema, trace, and failures to
+    the uninterrupted run, for every strategy and every [~jobs] value.
+
+    [~warm] (default [true]) seeds the engine's memo table from the
+    snapshot; [~warm:false] starts cold — results are bit-identical
+    either way, only the hit/miss counters and wall time differ.
+    [?max_iterations] overrides the snapshot's cap (e.g. to let a run
+    stopped by [`Iterations] continue); [?checkpoint] keeps the resumed
+    run checkpointing, typically to the same path.
+
+    @raise Checkpoint.Corrupt if the file fails validation (bad magic,
+    version, length, checksum, or payload) — a corrupt snapshot is an
+    error, never a silent restart. *)

@@ -22,6 +22,7 @@ let () =
       ("cost-engine", Test_cost_engine.suite);
       ("par", Test_par.suite);
       ("budget", Test_budget.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("updates", Test_updates.suite);
       ("beam", Test_search.beam_suite);
       ("integration", Test_integration.suite);
