@@ -506,11 +506,12 @@ let search_perf ?(jobs = 1) ?(smoke = false) () =
       failwith
         (Printf.sprintf "search_perf: %s/%s cached cost diverges" strategy wname);
     let e1 = first.Search.engine and e2 = rerun.Search.engine in
+    let e0 = cold.Search.engine in
     Printf.printf
-      "%-9s %-7s  cold %6.3fs  first %6.3fs (%3.0f%% hits, %.1fx)  rerun \
-       %6.3fs (%3.0f%% hits, %.1fx)\n\
+      "%-9s %-7s  cold %6.3fs (optimize %6.3fs)  first %6.3fs (%3.0f%% hits, \
+       %.1fx)  rerun %6.3fs (%3.0f%% hits, %.1fx)\n\
        %!"
-      strategy wname t_cold t_first
+      strategy wname t_cold e0.Cost_engine.t_optimize t_first
       (100. *. Cost_engine.hit_rate e1)
       (t_cold /. t_first) t_rerun
       (100. *. Cost_engine.hit_rate e2)
@@ -525,11 +526,15 @@ let search_perf ?(jobs = 1) ?(smoke = false) () =
           \   \"configs_costed\": %d, \"hits\": %d, \"misses\": %d, \
           \"hit_rate\": %.3f,\n\
           \   \"cold_s\": %.4f, \"first_s\": %.4f, \"rerun_s\": %.4f,\n\
+          \   \"cold_t_mapping\": %.4f, \"cold_t_translate\": %.4f, \
+          \"cold_t_optimize\": %.4f,\n\
           \   \"first_speedup\": %.2f, \"rerun_speedup\": %.2f, \
           \"rerun_hit_rate\": %.3f}"
          strategy wname cold.Search.cost e1.Cost_engine.evaluations
          e1.Cost_engine.hits e1.Cost_engine.misses (Cost_engine.hit_rate e1)
-         t_cold t_first t_rerun (t_cold /. t_first) (t_cold /. t_rerun)
+         t_cold t_first t_rerun e0.Cost_engine.t_mapping
+         e0.Cost_engine.t_translate e0.Cost_engine.t_optimize
+         (t_cold /. t_first) (t_cold /. t_rerun)
          (Cost_engine.hit_rate e2))
   in
   if not smoke then
@@ -633,6 +638,164 @@ let search_perf ?(jobs = 1) ?(smoke = false) () =
     output_string oc (Buffer.contents buf);
     close_out oc;
     print_endline "[wrote BENCH_search_perf.json]"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* optimizer_perf: mask-indexed join DP vs the frozen reference        *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the per-candidate optimizer in isolation: for each (storage
+   configuration, workload) pair, the whole translated workload is
+   costed through the fast mask-indexed [Optimizer] and through the
+   frozen pre-rewrite [Optimizer_reference], after asserting that the
+   two return bit-identical plans, row estimates, and costs on every
+   block.  The stage breakdown (t_mapping / t_translate / t_optimize)
+   localizes where a candidate evaluation spends its time.  [--smoke]
+   runs one repetition and skips the JSON, keeping the divergence
+   check for CI. *)
+let optimizer_perf ?(smoke = false) () =
+  print_endline
+    "\nPer-candidate optimizer: mask-indexed DP vs frozen reference\n\
+     ============================================================";
+  let schema = annotated Imdb.Stats.full in
+  let configs =
+    [
+      ("inlined", Init.all_inlined schema);
+      ("outlined", Init.normalize schema);
+    ]
+  in
+  let workloads =
+    [
+      ("lookup", Imdb.Workloads.lookup);
+      ("publish", Imdb.Workloads.publish);
+      ("mixed", Imdb.Workloads.mixed 0.5);
+    ]
+  in
+  let reps = if smoke then 1 else 7 in
+  let bits = Int64.bits_of_float in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "[";
+  let first_row = ref true in
+  (* per-workload fast/reference optimize time, summed over configs —
+     the >= 2x gate below reads these *)
+  let gate : (string, float * float) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (cname, config) ->
+      let t0 = Unix.gettimeofday () in
+      let m =
+        match Mapping.of_pschema config with
+        | Ok m -> m
+        | Error es -> failwith (String.concat "; " es)
+      in
+      let t_mapping = Unix.gettimeofday () -. t0 in
+      let catalog = m.Mapping.catalog in
+      List.iter
+        (fun (wname, workload) ->
+          let t1 = Unix.gettimeofday () in
+          let queries =
+            List.map (fun (q, w) -> (Xq_translate.translate m q, w)) workload
+          in
+          let t_translate = Unix.gettimeofday () -. t1 in
+          let blocks =
+            List.fold_left
+              (fun n (q, _) -> n + List.length q.Logical.blocks)
+              0 queries
+          in
+          let max_rels =
+            List.fold_left
+              (fun n (q, _) ->
+                List.fold_left
+                  (fun n (b : Logical.block) ->
+                    max n (List.length b.Logical.relations))
+                  n q.Logical.blocks)
+              0 queries
+          in
+          (* bit-identity on every block before any timing *)
+          List.iter
+            (fun (q, _) ->
+              let fast, ft = Optimizer.query_cost ~params catalog q in
+              let refr, rt = Optimizer_reference.query_cost ~params catalog q in
+              if bits ft <> bits rt then
+                failwith
+                  (Printf.sprintf
+                     "optimizer_perf: %s/%s/%s cost diverges from reference \
+                      (%h vs %h)"
+                     cname wname q.Logical.qname ft rt);
+              List.iter2
+                (fun (f : Optimizer.result) (r : Optimizer_reference.result) ->
+                  if
+                    not
+                      (f.Optimizer.plan = r.Optimizer_reference.plan
+                      && bits f.Optimizer.rows = bits r.Optimizer_reference.rows
+                      && bits (Cost.total params f.Optimizer.cost)
+                         = bits (Cost.total params r.Optimizer_reference.cost))
+                  then
+                    failwith
+                      (Printf.sprintf
+                         "optimizer_perf: %s/%s/%s plan diverges from reference"
+                         cname wname q.Logical.qname))
+                fast refr)
+            queries;
+          let time_path f =
+            let t = ref infinity in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              ignore (f ());
+              t := Float.min !t (Unix.gettimeofday () -. t0)
+            done;
+            !t
+          in
+          let t_fast =
+            time_path (fun () -> Optimizer.workload_cost ~params catalog queries)
+          in
+          let t_ref =
+            time_path (fun () ->
+                Optimizer_reference.workload_cost ~params catalog queries)
+          in
+          let fa, ra =
+            Option.value ~default:(0., 0.) (Hashtbl.find_opt gate wname)
+          in
+          Hashtbl.replace gate wname (fa +. t_fast, ra +. t_ref);
+          Printf.printf
+            "%-9s %-7s  %3d blocks (<= %d rels)  optimize %8.2f ms  reference \
+             %8.2f ms  speedup %5.2fx\n\
+             %!"
+            cname wname blocks max_rels (1e3 *. t_fast) (1e3 *. t_ref)
+            (t_ref /. t_fast);
+          if not !first_row then Buffer.add_string buf ",";
+          first_row := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "\n\
+                \  {\"config\": \"%s\", \"workload\": \"%s\", \"queries\": \
+                %d, \"blocks\": %d, \"max_rels\": %d,\n\
+                \   \"t_mapping_s\": %.5f, \"t_translate_s\": %.5f, \
+                \"t_optimize_fast_s\": %.5f, \"t_optimize_ref_s\": %.5f,\n\
+                \   \"speedup\": %.2f}"
+               cname wname (List.length queries) blocks max_rels t_mapping
+               t_translate t_fast t_ref (t_ref /. t_fast)))
+        workloads)
+    configs;
+  Buffer.add_string buf "\n]\n";
+  print_newline ();
+  print_string (Buffer.contents buf);
+  if not smoke then begin
+    let oc = open_out "BENCH_optimizer_perf.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "[wrote BENCH_optimizer_perf.json]";
+    (* the tentpole claim: the optimize stage on the per-candidate hot
+       workloads is at least twice as fast as the frozen reference *)
+    List.iter
+      (fun wname ->
+        match Hashtbl.find_opt gate wname with
+        | Some (fast, refr) when refr /. fast < 2. ->
+            failwith
+              (Printf.sprintf
+                 "optimizer_perf: %s optimize speedup %.2fx < 2x vs reference"
+                 wname (refr /. fast))
+        | _ -> ())
+      [ "lookup"; "mixed" ]
   end
 
 (* ------------------------------------------------------------------ *)

@@ -96,6 +96,7 @@ let experiments ~jobs ~smoke =
     ("table2", Experiments.table2);
     ("ablation", Experiments.ablation);
     ("search_perf", fun () -> Experiments.search_perf ~jobs ~smoke ());
+    ("optimizer_perf", fun () -> Experiments.optimizer_perf ~smoke ());
     ("budget_sweep", fun () -> Experiments.budget_sweep ~jobs ~smoke ());
     ("checkpoint_resume", fun () -> Experiments.checkpoint_resume ~jobs ~smoke ());
     ("micro", micro);

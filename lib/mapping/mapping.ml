@@ -373,9 +373,11 @@ let table_shape (t : Rschema.table) =
     t.Rschema.card
 
 let table_fingerprints (cat : Rschema.t) =
-  let shapes =
-    List.map (fun (t : Rschema.table) -> (t.Rschema.tname, table_shape t)) cat.Rschema.tables
-  in
+  let shapes = Hashtbl.create (2 * List.length cat.Rschema.tables) in
+  List.iter
+    (fun (t : Rschema.table) ->
+      Hashtbl.replace shapes t.Rschema.tname (table_shape t))
+    cat.Rschema.tables;
   (* one Weisfeiler–Leman round: a table's fingerprint includes its
      parents' shapes, so the join topology between tables is part of
      the fingerprint and structurally symmetric tables hanging off
@@ -383,14 +385,19 @@ let table_fingerprints (cat : Rschema.t) =
   List.map
     (fun (t : Rschema.table) ->
       let parents =
-        List.filter_map (fun (_, p) -> List.assoc_opt p shapes) t.Rschema.fks
+        List.filter_map (fun (_, p) -> Hashtbl.find_opt shapes p) t.Rschema.fks
       in
       ( t.Rschema.tname,
-        List.assoc t.Rschema.tname shapes
+        Hashtbl.find shapes t.Rschema.tname
         ^ "<"
         ^ String.concat "," (List.sort String.compare parents)
         ^ ">" ))
     cat.Rschema.tables
+
+let fingerprint_index cat =
+  let index = Hashtbl.create 64 in
+  List.iter (fun (name, fp) -> Hashtbl.replace index name fp) (table_fingerprints cat);
+  index
 
 let catalog_fingerprint cat =
   String.concat ";"

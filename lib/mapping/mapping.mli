@@ -58,6 +58,11 @@ val table_fingerprints : Rschema.t -> (string * string) list
     exactly when the fingerprints of the tables it touches are
     unchanged. *)
 
+val fingerprint_index : Rschema.t -> (string, string) Hashtbl.t
+(** {!table_fingerprints} as a hashtable keyed by type name — built
+    once per costing pass so per-statement key construction does O(1)
+    lookups per touched table instead of an assoc-list walk. *)
+
 val catalog_fingerprint : Rschema.t -> string
 (** Order-independent fingerprint of the whole catalog (the sorted
     table fingerprints joined); configurations reached by different

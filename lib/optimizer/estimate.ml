@@ -1,27 +1,46 @@
 open Legodb_relational
 
+(* Alias resolution is the innermost lookup of every estimate: the
+   alias -> table binding is resolved once into arrays at [env]
+   construction, and by-name lookups go through a hashtable instead of
+   walking an assoc list per probe. *)
 type env = {
-  tables : (string * Rschema.table) list;  (* alias -> table *)
+  names : string array;  (* alias, in block-relation order *)
+  tabs : Rschema.table array;  (* catalog table per alias id *)
+  ids : (string, int) Hashtbl.t;  (* alias -> id *)
   preds : Logical.pred list;
 }
 
 let env cat (block : Logical.block) =
-  let tables =
-    List.map
-      (fun (r : Logical.relation) ->
-        match Rschema.find_table cat r.table with
-        | Some tbl -> (r.alias, tbl)
-        | None ->
-            invalid_arg (Printf.sprintf "Estimate.env: unknown table %s" r.table))
-      block.relations
+  let names =
+    Array.of_list (List.map (fun (r : Logical.relation) -> r.alias) block.relations)
   in
-  { tables; preds = block.preds }
+  let tabs =
+    Array.of_list
+      (List.map
+         (fun (r : Logical.relation) ->
+           match Rschema.find_table cat r.table with
+           | Some tbl -> tbl
+           | None ->
+               invalid_arg
+                 (Printf.sprintf "Estimate.env: unknown table %s" r.table))
+         block.relations)
+  in
+  let ids = Hashtbl.create (2 * Array.length names) in
+  (* first binding wins, like the assoc list this replaces *)
+  Array.iteri
+    (fun i a -> if not (Hashtbl.mem ids a) then Hashtbl.add ids a i)
+    names;
+  { names; tabs; ids; preds = block.preds }
 
-let table_of env alias =
-  match List.assoc_opt alias env.tables with
-  | Some tbl -> tbl
+let alias_id env alias =
+  match Hashtbl.find_opt env.ids alias with
+  | Some i -> i
   | None -> invalid_arg (Printf.sprintf "Estimate: unknown alias %s" alias)
 
+let table_of env alias = env.tabs.(alias_id env alias)
+let table_at env i = env.tabs.(i)
+let alias_count env = Array.length env.names
 let column_of env (alias, cname) = Rschema.column (table_of env alias) cname
 
 let row_floor = 1.
@@ -55,14 +74,7 @@ let pred_selectivity env (p : Logical.pred) =
     ->
       1. /. 3.
 
-let local_preds env alias =
-  List.filter
-    (fun p ->
-      match Logical.pred_aliases p with
-      | [ a ] -> String.equal a alias
-      | [ a; b ] -> String.equal a alias && String.equal b alias
-      | _ -> false)
-    env.preds
+let local_preds env alias = Logical.local_preds env.preds alias
 
 let base_rows env alias =
   let tbl = table_of env alias in

@@ -3,13 +3,31 @@
 open Legodb_relational
 
 type env
-(** Resolves aliases to catalog tables for one block. *)
+(** Resolves aliases to catalog tables for one block.  Internally the
+    alias -> table binding is an array indexed by alias id (the alias's
+    position in the block's relation list) with a hashtable from name
+    to id, so every lookup is O(1) instead of an assoc-list walk. *)
 
 val env : Rschema.t -> Logical.block -> env
 (** @raise Invalid_argument if an alias does not resolve. *)
 
+val alias_id : env -> string -> int
+(** The alias's position in the block's relation list.
+    @raise Invalid_argument on an unknown alias. *)
+
+val alias_count : env -> int
 val table_of : env -> string -> Rschema.table
+
+val table_at : env -> int -> Rschema.table
+(** [table_at env i = table_of env alias] when [alias] has id [i]. *)
+
 val column_of : env -> Logical.col -> Rschema.column
+
+val row_floor : float
+(** Lower bound every row estimate is clamped to (1.0). *)
+
+val local_preds : env -> string -> Logical.pred list
+(** {!Logical.local_preds} over the block's predicates. *)
 
 val pred_selectivity : env -> Logical.pred -> float
 (** Textbook System-R rules: equality with a constant selects

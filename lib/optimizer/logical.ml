@@ -27,6 +27,15 @@ let pred_aliases p =
   | O_col (ra, _) -> [ fst p.lhs; ra ]
   | O_const _ -> [ fst p.lhs ]
 
+let local_preds preds alias =
+  List.filter
+    (fun p ->
+      match pred_aliases p with
+      | [ a ] -> String.equal a alias
+      | [ a; b ] -> String.equal a alias && String.equal b alias
+      | _ -> false)
+    preds
+
 let block_wellformed cat block =
   let errors = ref [] in
   let err fmt = Format.kasprintf (fun m -> errors := m :: !errors) fmt in

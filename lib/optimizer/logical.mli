@@ -35,6 +35,12 @@ val is_join_pred : pred -> bool
 
 val pred_aliases : pred -> string list
 
+val local_preds : pred list -> string -> pred list
+(** Predicates local to one alias, in input order: every alias they
+    mention equals [alias].  The single shared definition of "local"
+    used by both the optimizer's access-path selection and the
+    estimator's {!Estimate.base_rows}. *)
+
 val block_wellformed :
   Legodb_relational.Rschema.t -> block -> (unit, string list) result
 (** Aliases unique and resolvable; every referenced column exists. *)

@@ -99,10 +99,12 @@ let create ?params ?(workload_indexes = false) ?(updates = [])
    fingerprints (not the table names) keeps the key independent of the
    fresh type names a transformation order happens to generate, so
    structurally identical configurations reached by different step
-   orders hit the same entry. *)
+   orders hit the same entry.  [fps] is the per-pass
+   {!Mapping.fingerprint_index} hashtable, so each touched table costs
+   one O(1) probe rather than an assoc-list walk over the catalog. *)
 let key ~kind ~index fps tables =
   let fp t =
-    match List.assoc_opt t fps with Some f -> f | None -> "?" ^ t
+    match Hashtbl.find_opt fps t with Some f -> f | None -> "?" ^ t
   in
   Printf.sprintf "%c%d|%s" kind index
     (String.concat "\x00" (List.sort String.compare (List.map fp tables)))
@@ -176,7 +178,7 @@ let cost_into ?(check = ignore) ~find ~add (t : t) (c : counters) schema =
   in
   (* fingerprints are computed on the catalog the optimizer sees, so
      workload-granted indexes are part of the invalidation key *)
-  let fps = lazy (Mapping.table_fingerprints catalog) in
+  let fps = lazy (Mapping.fingerprint_index catalog) in
   let costed kind index tables fresh =
     let compute () =
       let t2 = now () in

@@ -13,6 +13,7 @@ let () =
       ("init", Test_init.suite);
       ("relational", Test_relational.suite);
       ("optimizer", Test_optimizer.suite);
+      ("optimizer-perf", Test_optimizer_perf.suite);
       ("xquery", Test_xquery.suite);
       ("mapping", Test_mapping.suite);
       ("translate", Test_translate.suite);
