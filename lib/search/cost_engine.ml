@@ -69,9 +69,17 @@ type t = {
   clock : unit -> float;
   cache : (string, float) Hashtbl.t;
   c : counters;
+  (* [frozen] marks a parallel fan-out in flight: the engine is then a
+     read-mostly view (workers probe [cache], nothing writes it) and
+     direct costing through the engine is a caller bug.  [pool] is the
+     engine's persistent worker shards, one per worker slot, reused
+     across iterations, strategies, and searches — [merge] resets a
+     shard instead of consuming it. *)
+  mutable frozen : bool;
+  mutable pool : shard array;
 }
 
-type shard = {
+and shard = {
   base : t;
   fresh : (string, float) Hashtbl.t;
   sc : counters;
@@ -92,6 +100,8 @@ let create ?params ?(workload_indexes = false) ?(updates = [])
     clock;
     cache = Hashtbl.create 256;
     c = fresh_counters ();
+    frozen = false;
+    pool = [||];
   }
 
 (* The cache key of one statement: its position in the workload plus
@@ -250,6 +260,10 @@ let cost_into ?(check = ignore) ~find ~add (t : t) (c : counters) schema =
   !total +. !wtotal
 
 let engine_cost ?check t schema =
+  if t.frozen then
+    invalid_arg
+      "Cost_engine: engine is frozen (parallel fan-out in flight); cost \
+       through its worker shards instead";
   cost_into ?check
     ~find:(fun k -> Hashtbl.find_opt t.cache k)
     ~add:(fun k v -> Hashtbl.replace t.cache k v)
@@ -275,6 +289,37 @@ let cost_opt ?check t schema =
 (* ------------------------------------------------------------------ *)
 
 let shard t = { base = t; fresh = Hashtbl.create 64; sc = fresh_counters () }
+
+(* persistent per-worker shards: grown on demand, never shrunk, reused
+   across fan-outs (merge resets a shard rather than consuming it) *)
+let worker_shards t n =
+  let n = max n 1 in
+  let have = Array.length t.pool in
+  if have < n then
+    t.pool <-
+      Array.init n (fun i -> if i < have then t.pool.(i) else shard t);
+  if Array.length t.pool = n then t.pool else Array.sub t.pool 0 n
+
+let freeze t =
+  if t.frozen then invalid_arg "Cost_engine: already frozen";
+  t.frozen <- true
+
+let reset_shard sh =
+  Hashtbl.reset sh.fresh;
+  sh.sc.evaluations <- 0;
+  sh.sc.hits <- 0;
+  sh.sc.misses <- 0;
+  sh.sc.faults <- 0;
+  sh.sc.t_mapping <- 0.;
+  sh.sc.t_translate <- 0.;
+  sh.sc.t_optimize <- 0.
+
+(* abandon a fan-out wholesale: nothing a worker computed — cache
+   entries or counters — reaches the engine, exactly as if the shards
+   had been dropped on the floor (but reusable) *)
+let discard_shards t =
+  Array.iter reset_shard t.pool;
+  t.frozen <- false
 
 let shard_cost_result ?check sh schema =
   match
@@ -302,6 +347,7 @@ let shard_cost_opt ?check sh schema =
   | Error _ -> None
 
 let merge t shards =
+  t.frozen <- false;
   List.iter
     (fun sh ->
       if sh.base != t then
@@ -316,15 +362,10 @@ let merge t shards =
       t.c.t_mapping <- t.c.t_mapping +. sh.sc.t_mapping;
       t.c.t_translate <- t.c.t_translate +. sh.sc.t_translate;
       t.c.t_optimize <- t.c.t_optimize +. sh.sc.t_optimize;
-      (* a consumed shard must not contribute twice *)
-      Hashtbl.reset sh.fresh;
-      sh.sc.evaluations <- 0;
-      sh.sc.hits <- 0;
-      sh.sc.misses <- 0;
-      sh.sc.faults <- 0;
-      sh.sc.t_mapping <- 0.;
-      sh.sc.t_translate <- 0.;
-      sh.sc.t_optimize <- 0.)
+      (* a merged shard must not contribute twice; resetting (not
+         consuming) it is what lets the persistent pool shards be
+         reused by the next fan-out *)
+      reset_shard sh)
     shards
 
 (* sorted so a snapshot of the cache is deterministic: the on-disk

@@ -124,14 +124,29 @@ val cost_opt :
 (** {1 Worker shards}
 
     Parallel neighbor costing ({!Search.greedy} and friends with
-    [~jobs] > 1) gives each concurrent chunk of candidates a {!shard}:
-    a view of the engine that {e reads} the shared cache — which no one
-    writes while shards are live — and records its own new entries and
-    counters privately.  At the iteration barrier {!merge} folds the
-    shards back in a caller-chosen (chunk) order, so the merged cache
-    and counters depend only on the chunking, never on scheduling.
-    Because the cache is pure memoization, shard-computed costs are
-    bit-identical to sequential ones whatever the interleaving. *)
+    [~jobs] > 1) splits the engine into a {e read-mostly frozen view}
+    plus per-worker private deltas.  During a fan-out the engine is
+    {!freeze}-frozen: its memo table is read-only shared state that
+    every worker probes lock-free, and each worker slot costs
+    candidates through its own {!shard} — a view that reads the frozen
+    cache and records new entries and counters privately.  At the
+    iteration barrier {!merge} publishes the deltas back in
+    worker-slot order (a deterministic order; first-wins on duplicate
+    keys).
+
+    Determinism: because the cache is pure memoization, a probed key's
+    value — and therefore every candidate's cost — is bit-identical to
+    a sequential run's whatever the scheduling, and the post-merge
+    memo {e key set} is exactly the keys the candidate list probes, so
+    the merged cache contents are scheduling-independent too.  Only
+    the hit/miss {e split} (and the wall-clock timers, as always)
+    depends on which worker happened to cost which chunk.
+
+    Shards are cheap but not free; {!worker_shards} keeps a persistent
+    pool of them on the engine, reused across iterations, strategies,
+    and searches — {!merge} resets a shard instead of consuming it,
+    and {!discard_shards} abandons a fan-out without publishing
+    anything. *)
 
 type shard
 
@@ -139,7 +154,31 @@ val shard : t -> shard
 (** A fresh shard of [t].  Between creating a batch of shards and
     {!merge}-ing them, cost configurations only through the shards (or
     concurrently reading [t] via {!snapshot}); do not call {!cost} on
-    [t] itself, which would write the shared cache under the readers. *)
+    [t] itself, which would write the shared cache under the readers.
+    (Fan-outs that also {!freeze} the engine get that misuse detected
+    instead of relying on discipline.) *)
+
+val worker_shards : t -> int -> shard array
+(** [worker_shards t n] — the engine's persistent worker shards,
+    [max n 1] of them (slot-indexed, for {!Par.run_tasks}'s [~worker]
+    argument).  Grown on demand, never shrunk; the same shard objects
+    are returned on every call, so state {e not} yet published must be
+    {!merge}d or {!discard_shards}-discarded before the next fan-out
+    starts. *)
+
+val freeze : t -> unit
+(** Mark a parallel fan-out in flight: until {!merge} or
+    {!discard_shards}, the engine is a read-mostly view and {!cost}
+    (and friends) on [t] itself raise [Invalid_argument] — costing
+    must go through the shards.  @raise Invalid_argument if already
+    frozen. *)
+
+val discard_shards : t -> unit
+(** Abandon an in-flight fan-out wholesale: reset every pool shard
+    (cache deltas {e and} counters are dropped, nothing reaches the
+    engine) and un-freeze.  What the budget-exhausted iteration path
+    uses so an abandoned iteration leaves the engine bit-identical to
+    its barrier state. *)
 
 val shard_cost :
   ?check:(unit -> unit) -> shard -> Legodb_xtype.Xschema.t -> float
@@ -162,12 +201,16 @@ val shard_snapshot : shard -> snapshot
 (** The shard's private counters (zeroed again by {!merge}). *)
 
 val merge : t -> shard list -> unit
-(** Fold the shards' new cache entries and counters into the engine, in
-    list order: entries already present (seeded by an earlier shard in
-    the list) keep their first value — the floats are identical anyway
-    — and counters are summed left to right, so the result is
-    deterministic for a fixed chunking.  Consumes the shards: their
-    private state is reset so a double [merge] cannot double-count.
+(** Publish the shards' new cache entries and counters into the
+    engine, in list order: entries already present (seeded by an
+    earlier shard in the list) keep their first value — the floats are
+    identical anyway — and counters are summed left to right.  The
+    search passes the worker shards in slot order, so the publication
+    order is deterministic even though each shard's contents depend on
+    scheduling (see the section comment: the merged cache is
+    scheduling-independent regardless).  Resets each merged shard so a
+    double [merge] cannot double-count and pool shards are ready for
+    the next fan-out; un-freezes the engine.
     @raise Invalid_argument on a shard of a different engine. *)
 
 val snapshot : t -> snapshot

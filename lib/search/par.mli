@@ -1,32 +1,106 @@
 (** Parallel evaluation backend for the search loop.
 
     The implementation is selected at build time (dune [select]):
-    [par_domains.ml] runs thunks on a pool of [Domain]s on OCaml >= 5
-    — the selection is keyed on the [runtime_events] library, which
-    ships with the compiler from 5.0 — and [par_seq.ml] is the
-    sequential fallback for 4.14.
+    [par_domains.ml] runs tasks on a persistent pool of [Domain]s on
+    OCaml >= 5 — the selection is keyed on the [runtime_events]
+    library, which ships with the compiler from 5.0 — and [par_seq.ml]
+    is the sequential fallback for 4.14.
 
-    The contract is deliberately small: callers split their work into
-    at most [jobs] order-preserving chunks and submit one thunk per
-    chunk; {!run_list} only promises the results back in submission
-    order.  Everything that makes parallel search deterministic (static
-    chunking, per-chunk {!Cost_engine} shards, ordered merges) lives in
-    the caller, so both backends drive the identical reduction code. *)
+    The primitive is {!run_tasks}: a fan-out of [n] {e indexed} tasks,
+    self-scheduled from a shared counter onto at most [jobs] workers.
+    Callers split their work into fine-grained, order-indexed chunks
+    (many more chunks than workers, so skewed task costs stop
+    serializing behind the slowest static chunk) and write each task's
+    result into a slot keyed by its index.  Everything that makes
+    parallel search deterministic — index-keyed result slots,
+    per-worker {!Cost_engine} shards merged in worker-slot order,
+    sequential reductions — lives in the caller, so both backends
+    drive the identical reduction code.
+
+    {2 Pool sizing policy}
+
+    The pool is global, persistent, and sized by the {e requested
+    parallelism}, never by the width of any one fan-out: a call with
+    [~jobs] ensures at most [jobs - 1] resident workers (the calling
+    domain is always worker 0).  Two caps apply.  Hardware:
+    [default_jobs () - 1] — a live domain joins every stop-the-world
+    minor-GC rendezvous whether it has work or not, so domains beyond
+    the core count are a pure GC tax (measured 13x on an allocating
+    loop with three idle domains on one core); oversubscribed [jobs]
+    degrade gracefully toward the sequential path instead of paying
+    it.  Runtime: 120 workers, to stay under the runtime's 128-domain
+    limit.  The pool only grows, to the largest capped request so far;
+    idle workers sleep on a condition variable between fan-outs.
+    Workers are spawned lazily on first use, reused for every later
+    fan-out (no [Domain.spawn], mutex or condition-variable allocation
+    per iteration), and joined by an [at_exit] hook.  Waking is
+    proportional to the work enqueued: a fan-out of [n] tasks signals
+    at most [min (jobs - 1) (n - 1)] resident workers, not the whole
+    pool. *)
 
 val backend : string
 (** ["domains"] or ["sequential"] — which implementation was built. *)
 
 val available : bool
-(** [true] iff {!run_list} can actually overlap thunk execution. *)
+(** [true] iff {!run_tasks} can actually overlap task execution. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] on the domains backend, [1]
     on the sequential one.  What a [~jobs:0] request resolves to. *)
 
+val pool_size : unit -> int
+(** Resident pool workers (excluding the calling domain): the largest
+    capped request ensured so far (see the pool sizing policy).  [0]
+    on the sequential backend.  Exposed for tests and diagnostics. *)
+
+val ensure_workers : jobs:int -> unit
+(** Grow the pool to [min (jobs - 1) (default_jobs () - 1)] resident
+    workers, capped at 120 (never shrinks).  {!run_tasks} calls this
+    itself; exposing it lets a caller pre-spawn the pool outside a
+    timed region. *)
+
+val run_tasks : jobs:int -> int -> (worker:int -> int -> unit) -> float
+(** [run_tasks ~jobs n body] runs [body ~worker i] exactly once for
+    every task index [i] in [0 .. n-1] and returns only after all [n]
+    tasks have settled.  Tasks are self-scheduled: each participating
+    worker repeatedly claims the next unclaimed index from a shared
+    atomic counter, so an expensive task delays only the tasks behind
+    it on that worker, not a statically assigned chunk.  At most
+    [jobs] workers participate; the calling domain always participates
+    as [worker = 0], pool workers claim slots [1 .. jobs - 1], and
+    every claimed [worker] slot is occupied by exactly one domain for
+    the whole fan-out — the slot index is the caller's handle for
+    persistent per-worker state (e.g. {!Cost_engine} worker shards).
+
+    The float returned is the seconds the {e caller} spent idle at the
+    completion barrier after the task counter drained — stragglers it
+    had to wait for ([0.] when it finished last or ran everything
+    itself); the search surfaces it as [t_barrier_idle].
+
+    Memory publication: a task's writes (result slots, per-worker
+    state) happen-before the caller's return, via the atomic
+    completion counter.
+
+    If any task's [body] raises, the fan-out still runs every task to
+    settlement (later tasks typically notice a tripped budget at their
+    own cooperative poll), then re-raises the exception of the {e
+    lowest} failing task index, with its backtrace — so error
+    selection is deterministic whatever the scheduling.
+
+    [run_tasks] fan-outs are serialized on the global pool; a
+    re-entrant call from inside a task body (or [jobs <= 1], or
+    [n <= 1]) runs its tasks inline on the calling domain, which keeps
+    the call safe (and correct, just not parallel) instead of
+    deadlocking.  On the sequential backend the tasks run inline in
+    index order and the first exception propagates immediately — it is
+    the lowest-index failure by construction. *)
+
 val run_list : (unit -> 'a) list -> 'a list
-(** Run the thunks — concurrently on the domains backend, left to
-    right on the sequential one — and return their results in
-    submission order.  The calling domain executes the first thunk
-    itself, so [n] thunks occupy at most [n] cores.  If any thunk
+(** Convenience one-shot fan-out over {!run_tasks}: run the thunks —
+    overlapped on the domains backend, left to right on the sequential
+    one — and return their results in submission order.  Parallelism
+    and pool growth are capped at {!default_jobs} regardless of the
+    list's width (a 50-thunk list on a 4-core machine occupies 4
+    workers, not 50 — see the pool sizing policy above).  If any thunk
     raises, the whole call raises the leftmost failing thunk's
     exception (with its backtrace) after every thunk has settled. *)

@@ -1,11 +1,16 @@
 (* Domain-pool backend, selected on OCaml >= 5 (see par.mli).
 
-   A small global worker pool: domains are spawned lazily the first
-   time a fan-out needs them and reused for every later iteration, so
-   per-iteration overhead is one queue push/pop per chunk rather than a
-   Domain.spawn.  Workers idle on a condition variable; an [at_exit]
-   hook wakes and joins them so the runtime's end-of-program domain
-   join does not hang on the pool. *)
+   One global, persistent worker pool.  Domains are spawned lazily the
+   first time a fan-out requests them, sized by the requested [jobs]
+   (never by the width of a task list), and reused for every later
+   fan-out: steady-state per-iteration overhead is a few atomic
+   operations and [min (jobs-1) (n-1)] condition-variable signals —
+   no [Domain.spawn], no fresh mutex/condvar pair, no full-pool
+   broadcast.  Workers self-schedule task indices from a shared atomic
+   counter, so a skewed task delays only the tasks behind it on that
+   worker, not a statically assigned chunk.  Idle workers sleep on a
+   condition variable; an [at_exit] hook wakes and joins them so the
+   runtime's end-of-program domain join does not hang on the pool. *)
 
 let backend = "domains"
 let available = true
@@ -15,100 +20,225 @@ let default_jobs () = Domain.recommended_domain_count ()
    domain and any the application spawns itself *)
 let max_workers = 120
 
+(* ------------------------------------------------------------------ *)
+(* pool state (all [mutable] fields guarded by [m])                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One fan-out.  The three atomics are the whole scheduling protocol:
+   [next] hands out task indices, [slots] hands out worker slots
+   (caller = 0, participating pool workers claim 1, 2, ...; a worker
+   drawing a slot >= [jobs] bows out), and [pending] counts tasks not
+   yet settled — each participant decrements it once, by its batch of
+   completed tasks, and whoever brings it to zero wakes the caller.
+   The RMW chain on [pending] is also what publishes every
+   participant's non-atomic writes (result slots, per-worker state) to
+   the caller. *)
+type job = {
+  n : int;
+  jobs : int;
+  body : worker:int -> int -> unit;  (* wrapped: never raises *)
+  next : int Atomic.t;
+  slots : int Atomic.t;
+  pending : int Atomic.t;
+}
+
 let m = Mutex.create ()
-let work_available = Condition.create ()
-let queue : (unit -> unit) Queue.t = Queue.create ()
+let start = Condition.create () (* a new fan-out was published *)
+let finished = Condition.create () (* some fan-out's last task settled *)
+let generation = ref 0
+let current : job option ref = ref None
 let workers : unit Domain.t list ref = ref []
 let worker_count = ref 0
 let shutting_down = ref false
 
-let rec worker () =
+let pool_size () =
   Mutex.lock m;
-  let rec wait () =
-    if !shutting_down then None
-    else
-      match Queue.take_opt queue with
-      | Some t -> Some t
-      | None ->
-          Condition.wait work_available m;
-          wait ()
-  in
-  let task = wait () in
+  let n = !worker_count in
   Mutex.unlock m;
-  match task with
-  | None -> ()
-  | Some t ->
-      t ();
-      worker ()
+  n
+
+(* a domain already inside a fan-out (worker, or caller running its
+   own share) must not start a nested one on the same pool: nested
+   calls run inline instead of deadlocking *)
+let in_fanout = Domain.DLS.new_key (fun () -> ref false)
+
+(* claim task indices until the counter drains; returns the number of
+   tasks this participant settled *)
+let drain (j : job) ~worker =
+  let rec loop completed =
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i >= j.n then completed
+    else begin
+      j.body ~worker i;
+      loop (completed + 1)
+    end
+  in
+  loop 0
+
+(* batch the completion decrement: one RMW per participant per
+   fan-out, and only the last settler takes the lock to wake the
+   caller.  [broadcast] (not [signal]) because concurrent top-level
+   fan-outs share the condvar: a consumed signal meant for the other
+   caller would deadlock it, and there is at most a handful of waiters
+   ever. *)
+let settle (j : job) completed =
+  if
+    completed > 0
+    && Atomic.fetch_and_add j.pending (-completed) = completed
+  then begin
+    Mutex.lock m;
+    Condition.broadcast finished;
+    Mutex.unlock m
+  end
+
+let participate (j : job) =
+  let slot = Atomic.fetch_and_add j.slots 1 in
+  if slot < j.jobs then begin
+    let flag = Domain.DLS.get in_fanout in
+    flag := true;
+    let completed = drain j ~worker:slot in
+    flag := false;
+    settle j completed
+  end
+
+let rec worker last_gen =
+  Mutex.lock m;
+  while !generation = last_gen && not !shutting_down do
+    Condition.wait start m
+  done;
+  let gen = !generation in
+  let job = !current in
+  let stop = !shutting_down in
+  Mutex.unlock m;
+  if not stop then begin
+    (match job with Some j -> participate j | None -> ());
+    worker gen
+  end
 
 let () =
   at_exit (fun () ->
       Mutex.lock m;
       shutting_down := true;
-      Condition.broadcast work_available;
+      Condition.broadcast start;
       Mutex.unlock m;
       List.iter Domain.join !workers;
       workers := [])
 
-let ensure_workers n =
-  let n = min n max_workers in
-  Mutex.lock m;
-  while !worker_count < n && not !shutting_down do
-    incr worker_count;
-    workers := Domain.spawn worker :: !workers
+(* Resident workers the pool may hold: one per core beyond the calling
+   domain, never more than requested.  The hardware cap is not an
+   optimization nicety: every live domain joins each stop-the-world
+   minor-GC rendezvous, and on a machine with fewer cores than domains
+   that rendezvous is all context switches — measured 13x on an
+   allocating loop with three idle domains on one core.  Spawning only
+   what the hardware can run is what makes [-j 4] on a small container
+   degrade to the sequential path instead of a 3x GC tax. *)
+let target_workers jobs =
+  min (min (jobs - 1) (default_jobs () - 1)) max_workers
+
+let ensure_workers ~jobs =
+  let target = target_workers jobs in
+  if target > !worker_count then begin
+    Mutex.lock m;
+    while !worker_count < target && not !shutting_down do
+      incr worker_count;
+      (* read the generation under [m] so the new worker's first wait
+         cannot miss a fan-out published before it was spawned *)
+      let gen0 = !generation in
+      workers := Domain.spawn (fun () -> worker gen0) :: !workers
+    done;
+    Mutex.unlock m
+  end
+
+let run_inline n body =
+  for i = 0 to n - 1 do
+    body ~worker:0 i
   done;
-  Mutex.unlock m
+  0.
+
+let run_tasks ~jobs n body =
+  if n <= 0 then 0.
+  else
+    let flag = Domain.DLS.get in_fanout in
+    if n = 1 || jobs <= 1 || !flag then run_inline n body
+    else begin
+      ensure_workers ~jobs;
+      (* deterministic error selection: keep the lowest failing task
+         index, raise it after the whole fan-out settles *)
+      let err : (int * exn * Printexc.raw_backtrace) option Atomic.t =
+        Atomic.make None
+      in
+      let rec record i e bt =
+        let cur = Atomic.get err in
+        match cur with
+        | Some (i0, _, _) when i0 < i -> ()
+        | _ ->
+            if not (Atomic.compare_and_set err cur (Some (i, e, bt))) then
+              record i e bt
+      in
+      let wrapped ~worker i =
+        try body ~worker i
+        with e -> record i e (Printexc.get_raw_backtrace ())
+      in
+      let j =
+        {
+          n;
+          jobs;
+          body = wrapped;
+          next = Atomic.make 0;
+          slots = Atomic.make 1;
+          pending = Atomic.make n;
+        }
+      in
+      Mutex.lock m;
+      incr generation;
+      current := Some j;
+      (* wake proportionally to the work: never more workers than
+         there are tasks beyond the caller's first, and never the
+         whole pool for a narrow fan-out *)
+      let to_wake = min (min (jobs - 1) (n - 1)) !worker_count in
+      for _ = 1 to to_wake do
+        Condition.signal start
+      done;
+      Mutex.unlock m;
+      (* the caller is always worker 0 *)
+      flag := true;
+      let completed = drain j ~worker:0 in
+      flag := false;
+      settle j completed;
+      let idle =
+        if Atomic.get j.pending = 0 then 0.
+        else begin
+          let t0 = Unix.gettimeofday () in
+          Mutex.lock m;
+          while Atomic.get j.pending > 0 do
+            Condition.wait finished m
+          done;
+          Mutex.unlock m;
+          Unix.gettimeofday () -. t0
+        end
+      in
+      (* drop the pool's reference so the job's closures and the
+         caller's result slots are not retained until the next fan-out *)
+      Mutex.lock m;
+      (match !current with
+      | Some j' when j' == j -> current := None
+      | _ -> ());
+      Mutex.unlock m;
+      (match Atomic.get err with
+      | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      idle
+    end
 
 let run_list (fs : (unit -> 'a) list) : 'a list =
   match fs with
   | [] -> []
   | [ f ] -> [ f () ]
-  | f0 :: rest ->
-      let n = List.length rest in
-      ensure_workers n;
-      (* each task writes its slot and decrements [pending] under the
-         completion lock, which is also what publishes the slot write
-         to the caller (lock acquire/release orders the accesses) *)
-      let results : ('a, exn * Printexc.raw_backtrace) result option array =
-        Array.make n None
-      in
-      let pending = ref n in
-      let fin_m = Mutex.create () in
-      let fin_c = Condition.create () in
-      Mutex.lock m;
-      List.iteri
-        (fun i f ->
-          Queue.add
-            (fun () ->
-              let r =
-                try Ok (f ())
-                with e -> Error (e, Printexc.get_raw_backtrace ())
-              in
-              Mutex.lock fin_m;
-              results.(i) <- Some r;
-              decr pending;
-              if !pending = 0 then Condition.signal fin_c;
-              Mutex.unlock fin_m)
-            queue)
-        rest;
-      Condition.broadcast work_available;
-      Mutex.unlock m;
-      (* the caller is a worker too: it runs the first chunk while the
-         pool drains the rest *)
-      let r0 =
-        try Ok (f0 ()) with e -> Error (e, Printexc.get_raw_backtrace ())
-      in
-      Mutex.lock fin_m;
-      while !pending > 0 do
-        Condition.wait fin_c fin_m
-      done;
-      Mutex.unlock fin_m;
-      let settled =
-        r0 :: List.map Option.get (Array.to_list results)
-      in
-      List.iter
-        (function
-          | Error (e, bt) -> Printexc.raise_with_backtrace e bt
-          | Ok _ -> ())
-        settled;
-      List.map (function Ok v -> v | Error _ -> assert false) settled
+  | fs ->
+      let thunks = Array.of_list fs in
+      let n = Array.length thunks in
+      let results = Array.make n None in
+      ignore
+        (run_tasks ~jobs:(min n (default_jobs ())) n (fun ~worker:_ i ->
+             results.(i) <- Some (thunks.(i) ())));
+      Array.to_list (Array.map Option.get results)

@@ -1,7 +1,19 @@
 (* Sequential fallback, selected when the compiler has no Domain
-   support (OCaml 4.14 — see par.mli).  Must stay 4.14-compatible. *)
+   support (OCaml 4.14 — see par.mli).  Must stay 4.14-compatible.
+   Tasks run inline in index order, so the first exception to
+   propagate is the lowest-index failure by construction. *)
 
 let backend = "sequential"
 let available = false
 let default_jobs () = 1
+let pool_size () = 0
+let ensure_workers ~jobs = ignore jobs
+
+let run_tasks ~jobs n body =
+  ignore jobs;
+  for i = 0 to n - 1 do
+    body ~worker:0 i
+  done;
+  0.
+
 let run_list fs = List.map (fun f -> f ()) fs

@@ -51,48 +51,123 @@ let chunk_list n l =
     go 0 l
   end
 
-(* order-preserving map, fanned out over at most [jobs] chunks *)
+(* ------------------------------------------------------------------ *)
+(* seam instrumentation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock accounting for the parallel costing seam itself, so the
+   bench can report where a fan-out's time goes instead of asserting:
+   [t_fanout] is total time inside Par.run_tasks (workers costing),
+   [t_barrier_idle] the part of it the calling domain spent waiting on
+   stragglers after the task counter drained (skew), and [t_merge] the
+   sequential shard publication at the barrier.  Process-wide state,
+   written only by the domain driving a search (the fan-out caller);
+   concurrent searches would interleave their timings, which the bench
+   — one search at a time — never does. *)
+type seam_stats = {
+  s_fanouts : int;  (** parallel fan-outs (costing + fingerprint passes) *)
+  s_t_fanout : float;  (** seconds inside [Par.run_tasks] *)
+  s_t_merge : float;  (** seconds publishing shard deltas at barriers *)
+  s_t_barrier_idle : float;
+      (** seconds the caller idled at barriers behind stragglers *)
+}
+
+let seam_zero =
+  { s_fanouts = 0; s_t_fanout = 0.; s_t_merge = 0.; s_t_barrier_idle = 0. }
+
+let seam_cur = ref seam_zero
+let seam_reset () = seam_cur := seam_zero
+let seam_stats () = !seam_cur
+
+let seam_add ~fanout ~merge ~idle =
+  let c = !seam_cur in
+  seam_cur :=
+    {
+      s_fanouts = c.s_fanouts + 1;
+      s_t_fanout = c.s_t_fanout +. fanout;
+      s_t_merge = c.s_t_merge +. merge;
+      s_t_barrier_idle = c.s_t_barrier_idle +. idle;
+    }
+
+(* Logical chunk granularity: the candidate list is split into up to
+   [chunk_factor] chunks per worker — decoupled from [jobs] — and the
+   chunks are self-scheduled onto the workers by {!Par.run_tasks}, so
+   a skewed candidate cost delays at most one chunk's tail instead of
+   serializing a static 1/jobs-th of the iteration behind it.  Still a
+   pure function of [(jobs, list)]. *)
+let chunk_factor = 8
+
+(* order-preserving map, fanned out as self-scheduled chunks *)
 let par_map ~jobs f l =
   if jobs <= 1 || not Par.available then List.map f l
-  else
-    chunk_list jobs l
-    |> List.map (fun ch () -> List.map f ch)
-    |> Par.run_list
-    |> List.concat
+  else begin
+    let chunks = Array.of_list (chunk_list (jobs * chunk_factor) l) in
+    let nchunks = Array.length chunks in
+    if nchunks = 0 then []
+    else begin
+      let out = Array.make nchunks [] in
+      let t0 = Unix.gettimeofday () in
+      let idle =
+        Par.run_tasks ~jobs nchunks (fun ~worker:_ i ->
+            out.(i) <- List.map f chunks.(i))
+      in
+      seam_add ~fanout:(Unix.gettimeofday () -. t0) ~merge:0. ~idle;
+      List.concat (Array.to_list out)
+    end
+  end
 
-(* cost every candidate, returning [(candidate, cost-or-fault)] in
-   input order.  With [jobs > 1] each chunk costs on its own
-   Cost_engine shard — reading the shared cache, recording new entries
-   privately — and the shards merge back in chunk order at the
-   barrier, so the costs (pure memoization) and the final cache state
-   are identical to a sequential run's answers whatever the
-   scheduling.  [check] (Budget.tick) runs before each candidate on
-   every path; if it raises, Par.run_list re-raises after the other
-   chunks settle — they hit the same exhausted budget at their next
-   candidate, so in-flight work stops promptly and the iteration is
-   abandoned wholesale (no shard is merged, keeping the barrier
-   all-or-nothing). *)
+(* Cost every candidate, returning [(candidate, cost-or-fault)] in
+   input order.  With [jobs > 1] the engine is frozen into a read-only
+   memo view, the candidates are split into fine-grained chunks
+   (chunk_factor per worker) self-scheduled onto the persistent worker
+   pool, and every worker slot costs its chunks on the engine's
+   persistent shard for that slot — probing the frozen cache, recording
+   new entries privately.  At the barrier the shards publish back in
+   worker-slot order.  Costs are pure memoization, results are keyed
+   by chunk index, and the merged cache contents depend only on the
+   candidate list, so cost/schema/trace stay bit-identical to a
+   sequential run whatever the scheduling; only the hit/miss split
+   (and wall clock) varies.
+
+   [check] (Budget.tick) runs before each candidate on every path; if
+   it raises, the fan-out lets every in-flight chunk settle (they hit
+   the same exhausted budget at their next candidate, so work stops
+   promptly), discards the shards wholesale, and re-raises the
+   lowest-index failure — the iteration is abandoned all-or-nothing
+   and the engine is left bit-identical to its barrier state. *)
 let par_cost eng ~check ~jobs ~schema_of candidates =
   if jobs <= 1 || not Par.available then
     List.map
       (fun c -> (c, Cost_engine.cost_result ~check eng (schema_of c)))
       candidates
   else begin
-    let tasks =
-      List.map
-        (fun ch ->
-          let sh = Cost_engine.shard eng in
-          fun () ->
-            ( sh,
-              List.map
-                (fun c ->
-                  (c, Cost_engine.shard_cost_result ~check sh (schema_of c)))
-                ch ))
-        (chunk_list jobs candidates)
-    in
-    let per_chunk = Par.run_list tasks in
-    Cost_engine.merge eng (List.map fst per_chunk);
-    List.concat_map snd per_chunk
+    let chunks = Array.of_list (chunk_list (jobs * chunk_factor) candidates) in
+    let nchunks = Array.length chunks in
+    if nchunks = 0 then []
+    else begin
+      let results = Array.make nchunks [] in
+      let shards = Cost_engine.worker_shards eng jobs in
+      Cost_engine.freeze eng;
+      let t0 = Unix.gettimeofday () in
+      let idle =
+        try
+          Par.run_tasks ~jobs nchunks (fun ~worker ci ->
+              let sh = shards.(worker) in
+              results.(ci) <-
+                List.map
+                  (fun c ->
+                    (c, Cost_engine.shard_cost_result ~check sh (schema_of c)))
+                  chunks.(ci))
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Cost_engine.discard_shards eng;
+          Printexc.raise_with_backtrace e bt
+      in
+      let t1 = Unix.gettimeofday () in
+      Cost_engine.merge eng (Array.to_list shards);
+      seam_add ~fanout:(t1 -. t0) ~merge:(Unix.gettimeofday () -. t1) ~idle;
+      List.concat (Array.to_list results)
+    end
   end
 
 type stopped =
@@ -212,6 +287,9 @@ let due ~checkpoint ~iteration =
 let greedy_core ~strategy ~kinds ~threshold ~max_iterations ~jobs ~ctl ~eng
     ~checkpoint ~start ~iteration0 ~schema0 ~cost0 ~trace0 ~failures0 =
   let jobs = resolve_jobs jobs in
+  (* pre-spawn the worker pool outside the costing loop; it is global
+     and persistent, so iterations and later searches reuse it *)
+  if jobs > 1 && Par.available then Par.ensure_workers ~jobs;
   let check () = Budget.tick ctl in
   let rec descend iteration schema cost trace failures =
     (* barrier: no costing in flight, so the ticket counter is the
@@ -389,6 +467,7 @@ let beam_core ~strategy ~kinds ~width ~patience ~max_iterations ~jobs ~ctl
     ~eng ~checkpoint ~start ~iteration0 ~barren0 ~frontier0 ~best0 ~seen0
     ~trace0 ~failures0 =
   let jobs = resolve_jobs jobs in
+  if jobs > 1 && Par.available then Par.ensure_workers ~jobs;
   let check () = Budget.tick ctl in
   let seen = Hashtbl.create 64 in
   List.iter (fun fp -> Hashtbl.replace seen fp ()) seen0;

@@ -70,6 +70,43 @@ val pschema_cost :
     {!Cost_engine.create} with the same arguments produces bit-identical
     floats. *)
 
+(** {1 The parallel costing seam}
+
+    With [jobs > 1] each iteration's candidates are split by
+    {!chunk_list} into fine-grained chunks (several per worker,
+    decoupled from [jobs]), self-scheduled onto {!Par}'s persistent
+    worker pool, and costed on the engine's persistent per-worker
+    shards against a frozen read-only memo view (see
+    {!Cost_engine.worker_shards}); the shards publish back in
+    worker-slot order at the iteration barrier.  The seam is
+    instrumented: {!seam_stats} reports where fan-out wall clock went
+    since the last {!seam_reset}. *)
+
+val chunk_list : int -> 'a list -> 'a list list
+(** [chunk_list n l] splits [l] into at most [n] contiguous chunks of
+    near-equal length (sizes differ by at most one, longer chunks
+    first), preserving order: concatenating the chunks yields [l].  A
+    pure function of [(n, l)] — never of scheduling — which is what
+    makes the parallel fan-out's bookkeeping deterministic.  [n <= 1]
+    yields one chunk; an empty [l] yields no chunks. *)
+
+type seam_stats = {
+  s_fanouts : int;  (** parallel fan-outs (costing + fingerprint passes) *)
+  s_t_fanout : float;  (** seconds inside [Par.run_tasks] *)
+  s_t_merge : float;  (** seconds publishing shard deltas at barriers *)
+  s_t_barrier_idle : float;
+      (** seconds the fan-out caller idled at barriers behind
+          stragglers — the skew the self-scheduling is there to keep
+          small *)
+}
+(** Cumulative parallel-seam timings.  Process-wide and written by the
+    domain driving a search; meaningful when one search runs at a
+    time (the bench's situation).  Sequential runs ([jobs <= 1]) never
+    touch it. *)
+
+val seam_reset : unit -> unit
+val seam_stats : unit -> seam_stats
+
 type stopped =
   [ `Converged  (** no neighbor improves: the algorithm's own stop *)
   | `Deadline  (** wall-clock budget expired *)

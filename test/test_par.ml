@@ -188,6 +188,171 @@ let suite =
         in
         check_bool "engine (memoized)" true (Float.equal p cached);
         check_bool "engine (uncached)" true (Float.equal p cold));
+    prop "chunk_list: identity, count, balance, order" ~count:200
+      QCheck2.Gen.(
+        pair (int_range 0 12) (list_size (int_range 0 40) small_int))
+      (fun (n, l) ->
+        let chunks = Search.chunk_list n l in
+        List.concat chunks = l
+        && List.length chunks <= max 1 n
+        && List.for_all (fun c -> c <> []) chunks
+        && (l = [] || chunks <> [])
+        &&
+        let sizes = List.map List.length chunks in
+        let mx = List.fold_left max 0 sizes in
+        let mn = List.fold_left min max_int sizes in
+        sizes = [] || mx - mn <= 1);
+    case "run_tasks runs every index exactly once, workers in range"
+      (fun () ->
+        let n = 100 in
+        let jobs = 4 in
+        let counts = Array.make n 0 in
+        let bad_worker = Atomic.make false in
+        (* each index is claimed by exactly one participant, so the
+           per-index slot write never races *)
+        let idle =
+          Par.run_tasks ~jobs n (fun ~worker i ->
+              if worker < 0 || worker >= jobs then Atomic.set bad_worker true;
+              counts.(i) <- counts.(i) + 1)
+        in
+        check_bool "worker slots within jobs" false (Atomic.get bad_worker);
+        check_bool "caller idle time non-negative" true (idle >= 0.);
+        check_bool "each index exactly once" true
+          (Array.for_all (fun c -> c = 1) counts);
+        check_bool "empty fan-out" true
+          (Par.run_tasks ~jobs:4 0 (fun ~worker:_ _ -> assert false) = 0.));
+    case "run_tasks re-raises the lowest failing index" (fun () ->
+        match
+          Par.run_tasks ~jobs:4 10 (fun ~worker:_ i ->
+              if i = 3 then raise Not_found;
+              if i = 7 then failwith "higher index loses")
+        with
+        | _ -> Alcotest.fail "expected Not_found"
+        | exception Not_found -> ());
+    case "run_tasks tolerates nested fan-outs (runs them inline)"
+      (fun () ->
+        let inner = Atomic.make 0 in
+        ignore
+          (Par.run_tasks ~jobs:2 3 (fun ~worker:_ _ ->
+               ignore
+                 (Par.run_tasks ~jobs:2 4 (fun ~worker:_ j ->
+                      ignore (Atomic.fetch_and_add inner j)))));
+        (* 3 outer tasks x (0+1+2+3) *)
+        check_int "nested tasks all ran" 18 (Atomic.get inner));
+    case "pool is sized by jobs and capped by cores, grow-only" (fun () ->
+        let cap = max 0 (Par.default_jobs () - 1) in
+        ignore (Par.run_list (List.init 30 (fun i () -> i)));
+        let after_wide = Par.pool_size () in
+        check_bool "a wide list does not outgrow the core count" true
+          (after_wide <= cap);
+        Par.ensure_workers ~jobs:5;
+        let after = Par.pool_size () in
+        check_bool "grow-only" true (after >= after_wide);
+        check_bool "capped by cores and the domain limit" true
+          (after <= cap && after <= 120));
+    case "a frozen engine rejects direct costing until thawed" (fun () ->
+        let workload = Imdb.Workloads.lookup in
+        let eng = Cost_engine.create ~workload () in
+        let s = Init.all_inlined (Lazy.force annotated_imdb) in
+        Cost_engine.freeze eng;
+        (match Cost_engine.cost eng s with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+        (match Cost_engine.freeze eng with
+        | _ -> Alcotest.fail "expected Invalid_argument on double freeze"
+        | exception Invalid_argument _ -> ());
+        Cost_engine.discard_shards eng;
+        ignore (Cost_engine.cost eng s));
+    case "worker shards are persistent and reusable after merge" (fun () ->
+        let workload = Imdb.Workloads.lookup in
+        let eng = Cost_engine.create ~workload () in
+        let shards = Cost_engine.worker_shards eng 3 in
+        check_int "requested width" 3 (Array.length shards);
+        let again = Cost_engine.worker_shards eng 2 in
+        check_bool "same shard objects on re-request" true
+          (again.(0) == shards.(0) && again.(1) == shards.(1));
+        let s = Init.all_inlined (Lazy.force annotated_imdb) in
+        ignore (Cost_engine.shard_cost shards.(0) s);
+        Cost_engine.merge eng (Array.to_list shards);
+        let snap = Cost_engine.shard_snapshot shards.(0) in
+        check_int "merge resets the shard for reuse" 0
+          snap.Cost_engine.evaluations;
+        (* reused shard hits on the merged entry via the shared cache *)
+        ignore (Cost_engine.shard_cost shards.(0) s);
+        let snap = Cost_engine.shard_snapshot shards.(0) in
+        check_int "no recomputation on reuse" 0 snap.Cost_engine.misses;
+        Cost_engine.discard_shards eng;
+        check_int "discard zeroes private counters" 0
+          (Cost_engine.shard_snapshot shards.(0)).Cost_engine.evaluations);
+    case "engine pool/shard reuse does not leak counters between runs"
+      (fun () ->
+        (* fresh-engine equality oracle: a search on a reused engine
+           (persistent worker shards, warm memo) must select the same
+           design as a fresh-engine run, and its per-search engine
+           delta must count the same configurations, statement
+           costings, and faults — only the hit/miss split may shift
+           toward hits *)
+        let workload = Imdb.Workloads.mixed 0.5 in
+        let schema = Lazy.force annotated_imdb in
+        let run ?engine () =
+          Search.greedy_si ~jobs:4 ~max_iterations:3 ?engine ~workload schema
+        in
+        let r1 = run () in
+        let eng = Cost_engine.create ~workload () in
+        let ra = run ~engine:eng () in
+        let rb = run ~engine:eng () in
+        check_bit_identical "first shared-engine run" r1 ra;
+        check_bit_identical "second shared-engine run" r1 rb;
+        let d1 = r1.Search.engine and db = rb.Search.engine in
+        check_int "evaluations do not leak across runs"
+          d1.Cost_engine.evaluations db.Cost_engine.evaluations;
+        check_int "faults do not leak across runs" d1.Cost_engine.faults
+          db.Cost_engine.faults;
+        check_int "statement costings do not leak across runs"
+          (d1.Cost_engine.hits + d1.Cost_engine.misses)
+          (db.Cost_engine.hits + db.Cost_engine.misses));
+    case "abandoned parallel iteration publishes nothing" (fun () ->
+        (* a budget that trips mid-iteration abandons the fan-out
+           wholesale: the engine's memo table must be exactly the
+           barrier state — the table of a run stopped cleanly at the
+           completed-iteration count — with no partial shard deltas *)
+        let workload = Imdb.Workloads.lookup in
+        let schema = Lazy.force annotated_imdb in
+        let eng = Cost_engine.create ~workload () in
+        let budget = Budget.create ~max_evaluations:40 () in
+        let r =
+          Search.greedy_si ~jobs:4 ~engine:eng ~budget ~workload schema
+        in
+        check_string "stopped by the evaluation budget" "cost_budget"
+          (Search.stopped_string r.Search.stopped);
+        let completed =
+          List.fold_left
+            (fun acc (e : Search.trace_entry) -> max acc e.Search.iteration)
+            0 r.Search.trace
+        in
+        let eng' = Cost_engine.create ~workload () in
+        let _ =
+          Search.greedy_si ~jobs:4 ~engine:eng' ~max_iterations:completed
+            ~workload schema
+        in
+        check_bool "memo table equals the barrier state" true
+          (Cost_engine.cache_entries eng = Cost_engine.cache_entries eng'));
+    case "seam stats accumulate on parallel runs and reset" (fun () ->
+        Search.seam_reset ();
+        let workload = Imdb.Workloads.lookup in
+        ignore
+          (Search.greedy_si ~jobs:4 ~max_iterations:2 ~workload
+             (Lazy.force annotated_imdb));
+        let s = Search.seam_stats () in
+        if Par.available then begin
+          check_bool "fan-outs counted" true (s.Search.s_fanouts > 0);
+          check_bool "fan-out time sane" true
+            (s.Search.s_t_fanout >= 0. && s.Search.s_t_merge >= 0.
+           && s.Search.s_t_barrier_idle >= 0.)
+        end
+        else check_int "sequential backend never fans out" 0 s.Search.s_fanouts;
+        Search.seam_reset ();
+        check_int "reset" 0 (Search.seam_stats ()).Search.s_fanouts);
     case "jobs:0 auto-detects and stays bit-identical" (fun () ->
         let workload = Imdb.Workloads.lookup in
         let run ~jobs =
