@@ -1094,3 +1094,269 @@ let checkpoint_resume ?(jobs = 1) ?(smoke = false) () =
     close_out oc;
     print_endline "[wrote BENCH_checkpoint_resume.json]"
   end
+
+(* ------------------------------------------------------------------ *)
+(* serve_perf: the query server over a frozen snapshot                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Stand up `Serve` on a scaled synthetic IMDB corpus (>= 100k rows in
+   the full run) and replay a parameterized point-lookup workload:
+
+     cold      first batch, the plan cache compiling every distinct
+               statement on the way
+     warm      the same batch again, all plan-cache hits
+     nocache   the same requests with the cache bypassed (translate +
+               optimize every time), the baseline the cache must beat
+     post-pub  the warm batch after an append + publish, against the
+               new snapshot (fresh fingerprints, plans recompiled)
+
+   Requests are point lookups in the paper's "selections can be
+   pushed" setting: the workload's equality columns get indexes (the
+   same uniform grant the other experiments use), so a request costs
+   microseconds to execute and the plan cache's savings are visible
+   in end-to-end throughput rather than buried under table scans.
+
+   Answers are cross-checked two ways on a sampled sub-workload: row
+   sets must be bit-identical to a one-shot translate/optimize/execute
+   pipeline on the same snapshot, and row counts must match the naive
+   tree evaluator on the source document. *)
+let serve_perf ?(jobs = 1) ?(smoke = false) () =
+  print_endline
+    "\nServing throughput over frozen snapshots\n\
+     ========================================";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let scale = if smoke then 0.002 else 0.12 in
+  let doc, t_gen =
+    time (fun () ->
+        Imdb.Gen.generate { (Imdb.Gen.scaled scale) with Imdb.Gen.seed = 7 })
+  in
+  let stats = Collector.collect doc in
+  let ps = Init.all_inlined (Annotate.schema stats Imdb.Schema.schema) in
+  let t_year y =
+    Printf.sprintf
+      "FOR $v IN document(\"imdb\")/imdb/show WHERE $v/year = %s RETURN \
+       $v/title, $v/year, $v/type"
+      y
+  in
+  let t_name n =
+    Printf.sprintf
+      "FOR $a IN document(\"imdb\")/imdb/actor WHERE $a/name = \"%s\" RETURN \
+       $a/name"
+      n
+  in
+  let t_join n =
+    Printf.sprintf
+      "FOR $i IN document(\"imdb\")/imdb $a in $i/actor, $m1 in $a/played \
+       WHERE $a/name = \"%s\" RETURN $a/name, $m1/title, $m1/year"
+      n
+  in
+  let t_title s =
+    Printf.sprintf
+      "FOR $v IN document(\"imdb\")/imdb/show WHERE $v/title = \"%s\" RETURN \
+       $v/title, $v/year"
+      s
+  in
+  let m =
+    let base =
+      match Mapping.of_pschema ps with
+      | Ok m -> m
+      | Error es -> failwith (String.concat "; " es)
+    in
+    let representatives =
+      List.map
+        (Xq_parse.parse ~name:"rep")
+        [ t_year "1900"; t_name "x"; t_join "x"; t_title "x" ]
+    in
+    let equality =
+      Xq_translate.equality_columns
+        (List.map (Xq_translate.translate base) representatives)
+    in
+    { base with Mapping.catalog = Rschema.add_indexes base.Mapping.catalog equality }
+  in
+  let db, t_shred = time (fun () -> Shred.shred m doc) in
+  let total = Storage.total_rows db in
+  Printf.printf
+    "corpus: scale %.3f, %d rows (generate %.2fs, shred %.2fs), %d jobs\n%!"
+    scale total t_gen t_shred jobs;
+  if (not smoke) && total < 100_000 then
+    failwith
+      (Printf.sprintf "serve_perf: corpus too small (%d rows < 100000)" total);
+  (* the server executes in memory: with the paper's disk-calibrated
+     seek weight (40 per seek) a non-clustered index probe (4 seeks)
+     would lose to scanning a 20k-row table, so plans are compiled
+     under memory-calibrated weights and the probes actually win *)
+  let mem_params =
+    { Cost.default_params with Cost.seek_weight = 0.1; read_weight = 0.1 }
+  in
+  let server = Serve.create ~jobs ~params:mem_params m db in
+  (* constant pools, sampled from the document so every generated
+     request has a chance of matching rows; large pools keep most
+     requests structurally distinct, which is what makes the cold
+     batch pay for compilation *)
+  let pool ?(limit = 2000) path =
+    let seen = Hashtbl.create 64 in
+    let vs =
+      List.filter
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.replace seen v ();
+            true
+          end)
+        (Xq_eval.path_values doc path)
+    in
+    let arr = Array.of_list vs in
+    if Array.length arr = 0 then failwith "serve_perf: empty constant pool";
+    Array.sub arr 0 (min limit (Array.length arr))
+  in
+  let years = pool [ "show"; "year" ] in
+  let names = pool [ "actor"; "name" ] in
+  let titles = pool [ "show"; "title" ] in
+  let n_req = if smoke then 120 else 2000 in
+  let rng = Random.State.make [| 20260808 |] in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let reqs =
+    Array.init n_req (fun i ->
+        let text =
+          match Random.State.int rng 4 with
+          | 0 -> t_year (pick years)
+          | 1 -> t_name (pick names)
+          | 2 -> t_join (pick names)
+          | _ -> t_title (pick titles)
+        in
+        Xq_parse.parse ~name:(Printf.sprintf "req%d" i) text)
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "[";
+  let first_row = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not !first_row then Buffer.add_string buf ",";
+        first_row := false;
+        Buffer.add_string buf ("\n  " ^ s))
+      fmt
+  in
+  let summary_of label wall_s latencies =
+    let s = Serve.summarize ~wall_s latencies in
+    Printf.printf "%-9s %s\n%!" label
+      (Format.asprintf "%a" Serve.pp_summary s);
+    emit
+      "{\"kind\": \"pass\", \"pass\": \"%s\", \"n\": %d, \"wall_s\": %.4f, \
+       \"qps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}"
+      label s.Serve.n s.Serve.wall_s s.Serve.qps s.Serve.p50_ms s.Serve.p95_ms
+      s.Serve.p99_ms;
+    s
+  in
+  let batch label =
+    let replies, wall_s = time (fun () -> Serve.run_batch server reqs) in
+    let latencies =
+      Array.map
+        (function
+          | Ok (r : Serve.reply) -> r.Serve.latency_s
+          | Error e -> failwith ("serve_perf: " ^ e))
+        replies
+    in
+    summary_of label wall_s latencies
+  in
+  let cold = batch "cold" in
+  let warm = batch "warm" in
+  let stats_after = Serve.stats server in
+  Printf.printf "%s\n%!"
+    (Format.asprintf "%a" Serve.pp_stats stats_after);
+  if stats_after.Serve.cache_hits <= 0 then
+    failwith "serve_perf: no plan-cache hits";
+  if warm.Serve.qps <= 0. then failwith "serve_perf: zero warm qps";
+  (* cache on vs cache off over the same requests, sequentially, so
+     the comparison isolates exactly what the cache saves *)
+  let sequential label ~use_cache =
+    let replies, wall_s =
+      time (fun () -> Array.map (fun q -> Serve.query ~use_cache server q) reqs)
+    in
+    summary_of label wall_s
+      (Array.map (fun (r : Serve.reply) -> r.Serve.latency_s) replies)
+  in
+  let cached = sequential "cached" ~use_cache:true in
+  let nocache = sequential "nocache" ~use_cache:false in
+  if not smoke then begin
+    if warm.Serve.qps <= cold.Serve.qps then
+      failwith
+        (Printf.sprintf "serve_perf: warm qps %.0f not above cold %.0f"
+           warm.Serve.qps cold.Serve.qps);
+    if cached.Serve.qps <= nocache.Serve.qps then
+      failwith
+        (Printf.sprintf "serve_perf: cached qps %.0f not above nocache %.0f"
+           cached.Serve.qps nocache.Serve.qps)
+  end;
+  (* differential checks on a sampled sub-workload *)
+  let snap = Serve.snapshot server in
+  let cat = Storage.catalog snap in
+  let n_sample = min (if smoke then 30 else 60) n_req in
+  Array.iteri
+    (fun i q ->
+      if i < n_sample then begin
+        let served = (Serve.query server q).Serve.rows in
+        let lq = Xq_translate.translate m q in
+        let plans =
+          List.map
+            (fun (b : Logical.block) ->
+              ( (Optimizer.optimize_block ~params:mem_params cat b)
+                  .Optimizer.plan,
+                b.Logical.out ))
+            lq.Logical.blocks
+        in
+        let one_shot, _ = Executor.run_query snap plans in
+        if served <> one_shot then
+          failwith
+            (Printf.sprintf "serve_perf: request %d differs from one-shot path"
+               i);
+        let expected = Xq_eval.count_bindings doc q in
+        if List.length served <> expected then
+          failwith
+            (Printf.sprintf
+               "serve_perf: request %d returned %d rows, tree evaluator says %d"
+               i (List.length served) expected)
+      end)
+    reqs;
+  Printf.printf
+    "differential: %d sampled requests match the one-shot executor and the \
+     tree evaluator\n\
+     %!"
+    n_sample;
+  (* append + publish: readers keep the old snapshot until the barrier *)
+  let extra = Imdb.Gen.generate { Imdb.Gen.default with Imdb.Gen.seed = 99 } in
+  let rows_before = Storage.total_rows (Serve.snapshot server) in
+  Serve.append server extra;
+  if Storage.total_rows (Serve.snapshot server) <> rows_before then
+    failwith "serve_perf: append visible before publish";
+  let (), t_publish = time (fun () -> Serve.publish server) in
+  let rows_after = Storage.total_rows (Serve.snapshot server) in
+  if rows_after <= rows_before then
+    failwith "serve_perf: publish did not grow the snapshot";
+  Printf.printf "publish: %d -> %d rows in %.3fs\n%!" rows_before rows_after
+    t_publish;
+  let post = batch "post-pub" in
+  let final = Serve.stats server in
+  emit
+    "{\"kind\": \"serve\", \"scale\": %.3f, \"rows\": %d, \"rows_after\": %d, \
+     \"jobs\": %d, \"requests\": %d, \"cold_qps\": %.1f, \"warm_qps\": %.1f, \
+     \"cached_qps\": %.1f, \"nocache_qps\": %.1f, \"post_publish_qps\": %.1f, \
+     \"publish_s\": %.4f, \"hits\": %d, \"misses\": %d, \"served\": %d, \
+     \"publishes\": %d}"
+    scale total rows_after jobs n_req cold.Serve.qps warm.Serve.qps
+    cached.Serve.qps nocache.Serve.qps post.Serve.qps t_publish
+    final.Serve.cache_hits final.Serve.cache_misses final.Serve.served
+    final.Serve.snapshots_published;
+  Buffer.add_string buf "\n]\n";
+  print_newline ();
+  print_string (Buffer.contents buf);
+  if not smoke then begin
+    let oc = open_out "BENCH_serve_perf.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_endline "[wrote BENCH_serve_perf.json]"
+  end

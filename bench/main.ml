@@ -99,6 +99,7 @@ let experiments ~jobs ~smoke =
     ("optimizer_perf", fun () -> Experiments.optimizer_perf ~smoke ());
     ("budget_sweep", fun () -> Experiments.budget_sweep ~jobs ~smoke ());
     ("checkpoint_resume", fun () -> Experiments.checkpoint_resume ~jobs ~smoke ());
+    ("serve_perf", fun () -> Experiments.serve_perf ~jobs ~smoke ());
     ("micro", micro);
   ]
 

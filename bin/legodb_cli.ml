@@ -2,6 +2,7 @@
 
    Subcommands:
      design     run the cost-based storage design for a workload
+     serve      stand up a query server over a shredded corpus
      sql        translate queries under a storage configuration
      shred      load an XML document and show the resulting tables
      publish    shred and reconstruct a document (round-trip check)
@@ -262,6 +263,105 @@ let design_cmd =
        ~doc:"Find an efficient XML-to-relational mapping for a workload")
     term
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let scale =
+    let doc =
+      "Generate a synthetic IMDB corpus at this scale factor (1.0 = the \
+       paper's dataset) when no $(b,--doc) is given."
+    in
+    Arg.(value & opt float 0.01 & info [ "scale" ] ~docv:"F" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  let served_doc =
+    let doc = "Serve this XML document instead of a generated corpus." in
+    Arg.(value & opt (some file) None & info [ "doc" ] ~docv:"FILE" ~doc)
+  in
+  let requests =
+    let doc = "Replay the workload queries round-robin as $(docv) requests." in
+    Arg.(value & opt int 200 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Answer each request batch on $(docv) cores (0 = one per core); \
+       requires an OCaml 5 build for actual parallelism."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run schema_name config workload scale seed served_doc requests jobs =
+    match schema_of_name schema_name with
+    | Error m -> fail "%s" m
+    | Ok schema -> (
+        let doc =
+          match served_doc with
+          | Some f -> Xml_parse.parse_file f
+          | None ->
+              Imdb.Gen.generate { (Imdb.Gen.scaled scale) with Imdb.Gen.seed }
+        in
+        let stats = Collector.collect doc in
+        match (configuration schema stats config, load_workload workload) with
+        | Error m, _ | _, Error m -> fail "%s" m
+        | Ok ps, Ok w -> (
+            match Mapping.of_pschema ps with
+            | Error es -> fail "%s" (String.concat "; " es)
+            | Ok m ->
+                let server = Serve.create ~jobs m (Shred.shred m doc) in
+                Format.printf "%a@." Storage.pp_summary (Serve.snapshot server);
+                let qs = Array.of_list (List.map fst w) in
+                let reqs =
+                  Array.init (max 1 requests) (fun i ->
+                      qs.(i mod Array.length qs))
+                in
+                (* the first batch compiles every distinct statement into
+                   the plan cache; the second replays the same requests
+                   and should be all cache hits *)
+                let pass label =
+                  let t0 = Unix.gettimeofday () in
+                  let replies = Serve.run_batch server reqs in
+                  let wall_s = Unix.gettimeofday () -. t0 in
+                  let latencies =
+                    Array.to_list replies
+                    |> List.filter_map (function
+                         | Ok (r : Serve.reply) -> Some r.Serve.latency_s
+                         | Error _ -> None)
+                    |> Array.of_list
+                  in
+                  let errs =
+                    Array.fold_left
+                      (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+                      0 replies
+                  in
+                  Format.printf "%s: %a%s@." label Serve.pp_summary
+                    (Serve.summarize ~wall_s latencies)
+                    (if errs > 0 then
+                       Printf.sprintf " (%d untranslatable)" errs
+                     else "");
+                  errs
+                in
+                let errs = pass "cold" in
+                ignore (pass "warm");
+                Format.printf "%a@." Serve.pp_stats (Serve.stats server);
+                if errs = Array.length reqs then
+                  fail
+                    "no workload query is answerable under this configuration"
+                else `Ok ()))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ schema_arg $ config_arg $ workload_arg $ scale $ seed
+       $ served_doc $ requests $ jobs))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Shred a corpus and answer workload queries concurrently over a \
+          frozen snapshot")
+    term
+
 (* ---------------- sql ---------------- *)
 
 let sql_cmd =
@@ -464,6 +564,7 @@ let () =
     Cmd.group info
       [
         design_cmd;
+        serve_cmd;
         sql_cmd;
         shred_cmd;
         publish_cmd;

@@ -42,6 +42,7 @@ module Cost_engine = Legodb_search.Cost_engine
 module Budget = Legodb_search.Budget
 module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
+module Serve = Legodb_serve.Serve
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema

@@ -56,6 +56,7 @@ module Cost_engine = Legodb_search.Cost_engine
 module Budget = Legodb_search.Budget
 module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
+module Serve = Legodb_serve.Serve
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig

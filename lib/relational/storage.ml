@@ -9,7 +9,13 @@ module Vec = struct
   let push v x =
     if v.len = Array.length v.data then begin
       let cap = max 16 (2 * Array.length v.data) in
-      let data = Array.make cap x in
+      (* fill the spare slots with an element that is live anyway
+         (data.(0), or x itself when it is about to become data.(0)):
+         filling with [x] would keep every pushed row reachable from
+         the [cap - len - 1] spare slots until they are overwritten — a
+         space leak pinning dead rows for the lifetime of the vector *)
+      let fill = if v.len = 0 then x else v.data.(0) in
+      let data = Array.make cap fill in
       Array.blit v.data 0 data 0 v.len;
       v.data <- data
     end;
@@ -20,6 +26,11 @@ module Vec = struct
     if i < 0 || i >= v.len then invalid_arg "Vec.get" else v.data.(i)
 
   let length v = v.len
+  let capacity v = Array.length v.data
+
+  (* exact-size copy: independent of the original and with no spare
+     slots at all, which is what frozen snapshots want *)
+  let copy v = { data = Array.sub v.data 0 v.len; len = v.len }
 
   let to_seq v =
     let rec go i () =
@@ -32,16 +43,20 @@ type table_data = {
   schema : Rschema.table;
   rows : row Vec.t;
   indexes : (string, (Rtype.value, int list) Hashtbl.t) Hashtbl.t;
-  (* column name -> value -> row positions (most recent first) *)
+  (* column name -> value -> row positions (most recent first);
+     NULLs are never indexed: a NULL key matches nothing (SQL
+     semantics), so indexing them would only let [lookup] find them *)
   positions : (string * int) list;  (* column name -> array position *)
 }
 
 type t = {
   cat : Rschema.t;
   tables : (string, table_data) Hashtbl.t;
+  frozen : bool;
 }
 
 let catalog db = db.cat
+let is_frozen db = db.frozen
 
 let create (cat : Rschema.t) =
   let tables = Hashtbl.create 16 in
@@ -60,7 +75,7 @@ let create (cat : Rschema.t) =
             List.mapi (fun i (c : Rschema.column) -> (c.cname, i)) tbl.columns;
         })
     cat.tables;
-  { cat; tables }
+  { cat; tables; frozen = false }
 
 let table_data db name =
   match Hashtbl.find_opt db.tables name with
@@ -73,6 +88,9 @@ let column_position db ~table ~column =
   | None -> raise Not_found
 
 let insert db name row =
+  if db.frozen then
+    invalid_arg
+      (Printf.sprintf "Storage.insert: %s is a frozen snapshot" name);
   let td = table_data db name in
   if Array.length row <> List.length td.schema.columns then
     invalid_arg
@@ -84,8 +102,10 @@ let insert db name row =
       match List.assoc_opt cname td.positions with
       | Some i ->
           let v = row.(i) in
-          let existing = Option.value ~default:[] (Hashtbl.find_opt idx v) in
-          Hashtbl.replace idx v (pos :: existing)
+          if not (Rtype.is_null v) then begin
+            let existing = Option.value ~default:[] (Hashtbl.find_opt idx v) in
+            Hashtbl.replace idx v (pos :: existing)
+          end
       | None -> ())
     td.indexes
 
@@ -95,19 +115,30 @@ let get db name i = Vec.get (table_data db name).rows i
 
 let lookup db ~table ~column value =
   let td = table_data db table in
-  match Hashtbl.find_opt td.indexes column with
-  | Some idx ->
-      let positions = Option.value ~default:[] (Hashtbl.find_opt idx value) in
-      List.rev_map (Vec.get td.rows) positions
-  | None -> (
-      match List.assoc_opt column td.positions with
-      | Some i ->
-          Seq.fold_left
-            (fun acc row ->
-              if Rtype.value_equal row.(i) value then row :: acc else acc)
-            [] (Vec.to_seq td.rows)
-          |> List.rev
-      | None -> invalid_arg "Storage.lookup: unknown column")
+  (* SQL equality: NULL matches nothing.  The index compares keys
+     structurally (V_null = V_null) and the scan fallback used
+     value_equal, so both paths would otherwise return NULL-keyed rows
+     the executor's joins reject through eval_cmp. *)
+  if Rtype.is_null value then
+    if
+      Hashtbl.mem td.indexes column
+      || List.mem_assoc column td.positions
+    then []
+    else invalid_arg "Storage.lookup: unknown column"
+  else
+    match Hashtbl.find_opt td.indexes column with
+    | Some idx ->
+        let positions = Option.value ~default:[] (Hashtbl.find_opt idx value) in
+        List.rev_map (Vec.get td.rows) positions
+    | None -> (
+        match List.assoc_opt column td.positions with
+        | Some i ->
+            Seq.fold_left
+              (fun acc row ->
+                if Rtype.value_equal row.(i) value then row :: acc else acc)
+              [] (Vec.to_seq td.rows)
+            |> List.rev
+        | None -> invalid_arg "Storage.lookup: unknown column")
 
 let total_rows db =
   Hashtbl.fold (fun _ td n -> n + Vec.length td.rows) db.tables 0
@@ -151,18 +182,32 @@ let refresh_table_stats db (tbl : Rschema.table) =
   in
   { tbl with Rschema.columns; card }
 
-let refresh_stats db =
+(* an independent copy of one table's data: fresh row vector (trimmed,
+   so a snapshot pins no spare slots), fresh outer and inner index
+   hashtables.  The int lists and the rows themselves are immutable
+   from Storage's point of view and are shared. *)
+let copy_table_data td schema =
+  let indexes = Hashtbl.create (max 4 (Hashtbl.length td.indexes)) in
+  Hashtbl.iter
+    (fun cname idx -> Hashtbl.replace indexes cname (Hashtbl.copy idx))
+    td.indexes;
+  { schema; rows = Vec.copy td.rows; indexes; positions = td.positions }
+
+let with_refreshed_catalog db ~frozen =
   let cat =
     { Rschema.tables = List.map (refresh_table_stats db) db.cat.tables }
   in
-  let tables = Hashtbl.copy db.tables in
+  let tables = Hashtbl.create (Hashtbl.length db.tables) in
   List.iter
     (fun (tbl : Rschema.table) ->
-      match Hashtbl.find_opt tables tbl.tname with
-      | Some td -> Hashtbl.replace tables tbl.tname { td with schema = tbl }
+      match Hashtbl.find_opt db.tables tbl.tname with
+      | Some td -> Hashtbl.replace tables tbl.tname (copy_table_data td tbl)
       | None -> ())
     cat.tables;
-  { cat; tables }
+  { cat; tables; frozen }
+
+let refresh_stats db = with_refreshed_catalog db ~frozen:db.frozen
+let freeze db = with_refreshed_catalog db ~frozen:true
 
 let pp_summary fmt db =
   List.iter

@@ -1,0 +1,260 @@
+module Storage = Legodb_relational.Storage
+module Rtype = Legodb_relational.Rtype
+module Mapping = Legodb_mapping.Mapping
+module Xq_translate = Legodb_mapping.Xq_translate
+module Shred = Legodb_mapping.Shred
+module Logical = Legodb_optimizer.Logical
+module Physical = Legodb_optimizer.Physical
+module Optimizer = Legodb_optimizer.Optimizer
+module Cost = Legodb_optimizer.Cost
+module Executor = Legodb_optimizer.Executor
+module Xq_ast = Legodb_xquery.Xq_ast
+module Cost_engine = Legodb_search.Cost_engine
+module Par = Legodb_search.Par
+
+(* One serving snapshot: the frozen store plus the fingerprint index
+   of its catalog, computed once per publish so every request's
+   plan-cache key costs O(touched tables) hashtable probes. *)
+type snap = {
+  db : Storage.t;
+  fps : (string, string) Hashtbl.t;
+}
+
+(* per-statement translation, done once ever (it depends only on the
+   mapping, which never changes); plans are per (statement, snapshot
+   fingerprints) *)
+type translation = {
+  id : int;  (* statement index for the cache key *)
+  lq : Logical.query;
+  tables : string list;  (* the statement's read set *)
+}
+
+type compiled = (Physical.plan * (string * string) list) list
+
+type reply = {
+  rows : Rtype.value list list;
+  cached : bool;
+  latency_s : float;
+}
+
+type stats = {
+  served : int;
+  cache_hits : int;
+  cache_misses : int;
+  snapshot_rows : int;
+  snapshots_published : int;
+  pending_appends : int;
+}
+
+type t = {
+  mapping : Mapping.t;
+  working : Storage.t;
+  snap : snap Atomic.t;
+  lock : Serve_lock.t;
+  (* guarded by [lock]: *)
+  translations : (string, translation) Hashtbl.t;  (* structural text -> t *)
+  plans : (string, compiled) Hashtbl.t;  (* statement_key -> plans *)
+  mutable next_id : int;
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable published : int;
+  mutable pending : int;
+  jobs : int;
+  params : Cost.params;
+}
+
+(* compiled plans for dropped snapshots accumulate under their
+   unreachable keys; a long-lived server publishing many snapshots
+   would otherwise leak, so the cache is simply emptied when it
+   exceeds this many entries (recompiling is cheap and rare) *)
+let max_cached_plans = 4096
+
+let create ?(jobs = 0) ?(params = Cost.default_params) mapping db =
+  if Storage.is_frozen db then
+    invalid_arg "Serve.create: the working store must not be frozen";
+  let jobs = if jobs <= 0 then Par.default_jobs () else jobs in
+  Par.ensure_workers ~jobs;
+  let frozen = Storage.freeze db in
+  {
+    mapping;
+    working = db;
+    snap =
+      Atomic.make
+        { db = frozen; fps = Mapping.fingerprint_index (Storage.catalog frozen) };
+    lock = Serve_lock.create ();
+    translations = Hashtbl.create 64;
+    plans = Hashtbl.create 256;
+    next_id = 0;
+    served = 0;
+    hits = 0;
+    misses = 0;
+    published = 0;
+    pending = 0;
+    jobs;
+    params;
+  }
+
+let jobs t = t.jobs
+let snapshot t = (Atomic.get t.snap).db
+
+(* structural statement identity: the FLWR body, not the query name,
+   so identically-shaped requests share one cache line whatever their
+   callers named them *)
+let statement_text (q : Xq_ast.t) =
+  Format.asprintf "%a" Xq_ast.pp_flwr q.Xq_ast.body
+
+let compile_blocks ~params cat (lq : Logical.query) : compiled =
+  List.map
+    (fun (b : Logical.block) ->
+      ((Optimizer.optimize_block ~params cat b).Optimizer.plan, b.Logical.out))
+    lq.Logical.blocks
+
+(* translate once per distinct statement; Untranslatable escapes to
+   the caller before anything is cached *)
+let translation t q =
+  let text = statement_text q in
+  match
+    Serve_lock.with_lock t.lock (fun () -> Hashtbl.find_opt t.translations text)
+  with
+  | Some tr -> tr
+  | None ->
+      let lq, tables = Xq_translate.translate_with_tables t.mapping q in
+      Serve_lock.with_lock t.lock (fun () ->
+          match Hashtbl.find_opt t.translations text with
+          | Some tr -> tr  (* another worker won the race *)
+          | None ->
+              let tr = { id = t.next_id; lq; tables } in
+              t.next_id <- t.next_id + 1;
+              Hashtbl.replace t.translations text tr;
+              tr)
+
+let plans_for t (snap : snap) (tr : translation) =
+  let key =
+    Cost_engine.statement_key ~kind:'q' ~index:tr.id snap.fps tr.tables
+  in
+  match
+    Serve_lock.with_lock t.lock (fun () ->
+        match Hashtbl.find_opt t.plans key with
+        | Some p ->
+            t.hits <- t.hits + 1;
+            Some p
+        | None -> None)
+  with
+  | Some p -> (p, true)
+  | None ->
+      (* compile outside the lock: join ordering is the expensive part
+         and must not serialize the whole batch; first writer wins *)
+      let compiled = compile_blocks ~params:t.params (Storage.catalog snap.db) tr.lq in
+      let p =
+        Serve_lock.with_lock t.lock (fun () ->
+            match Hashtbl.find_opt t.plans key with
+            | Some p -> p
+            | None ->
+                if Hashtbl.length t.plans >= max_cached_plans then
+                  Hashtbl.reset t.plans;
+                Hashtbl.replace t.plans key compiled;
+                t.misses <- t.misses + 1;
+                compiled)
+      in
+      (p, false)
+
+let query_on t (snap : snap) ?(use_cache = true) q =
+  let t0 = Unix.gettimeofday () in
+  let plans, cached =
+    if use_cache then plans_for t snap (translation t q)
+    else
+      let lq = Xq_translate.translate t.mapping q in
+      (compile_blocks ~params:t.params (Storage.catalog snap.db) lq, false)
+  in
+  let rows, _measures = Executor.run_query snap.db plans in
+  Serve_lock.with_lock t.lock (fun () -> t.served <- t.served + 1);
+  { rows; cached; latency_s = Unix.gettimeofday () -. t0 }
+
+let query ?use_cache t q = query_on t (Atomic.get t.snap) ?use_cache q
+
+let run_batch t qs =
+  let n = Array.length qs in
+  (* the whole batch reads one snapshot: a publish racing the batch
+     swaps the snapshot for *later* batches, it never tears this one *)
+  let snap = Atomic.get t.snap in
+  let out = Array.make n (Error "unanswered") in
+  ignore
+    (Par.run_tasks ~jobs:t.jobs n (fun ~worker:_ i ->
+         out.(i) <-
+           (match query_on t snap qs.(i) with
+           | reply -> Ok reply
+           | exception Xq_translate.Untranslatable m ->
+               Error (Printf.sprintf "untranslatable: %s" m))));
+  out
+
+let append t doc =
+  Serve_lock.with_lock t.lock (fun () ->
+      Shred.shred_into t.working t.mapping doc;
+      t.pending <- t.pending + 1)
+
+let publish t =
+  Serve_lock.with_lock t.lock (fun () ->
+      let frozen = Storage.freeze t.working in
+      Atomic.set t.snap
+        { db = frozen; fps = Mapping.fingerprint_index (Storage.catalog frozen) };
+      t.published <- t.published + 1;
+      t.pending <- 0)
+
+let stats t =
+  Serve_lock.with_lock t.lock (fun () ->
+      {
+        served = t.served;
+        cache_hits = t.hits;
+        cache_misses = t.misses;
+        snapshot_rows = Storage.total_rows (Atomic.get t.snap).db;
+        snapshots_published = t.published;
+        pending_appends = t.pending;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* latency accounting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type summary = {
+  n : int;
+  wall_s : float;
+  qps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let summarize ~wall_s latencies =
+  let n = Array.length latencies in
+  if n = 0 then
+    { n; wall_s; qps = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0. }
+  else begin
+    let sorted = Array.copy latencies in
+    Array.sort compare sorted;
+    (* nearest-rank percentile *)
+    let pct q =
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      1000. *. sorted.(max 0 (min (n - 1) (rank - 1)))
+    in
+    {
+      n;
+      wall_s;
+      qps = (if wall_s > 0. then float_of_int n /. wall_s else 0.);
+      p50_ms = pct 0.50;
+      p95_ms = pct 0.95;
+      p99_ms = pct 0.99;
+    }
+  end
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "%d requests in %.3fs: %.0f qps, latency p50 %.3fms p95 %.3fms p99 %.3fms"
+    s.n s.wall_s s.qps s.p50_ms s.p95_ms s.p99_ms
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "served %d (plan cache: %d hits, %d misses), snapshot %d rows, %d \
+     publishes, %d pending appends"
+    s.served s.cache_hits s.cache_misses s.snapshot_rows s.snapshots_published
+    s.pending_appends

@@ -1,0 +1,144 @@
+(** [legodb serve]: a concurrent query server over frozen storage
+    snapshots — the front door the ROADMAP's "serve the winning
+    design" item asks for.
+
+    {2 Snapshot lifecycle}
+
+    The server owns two stores derived from one {!Legodb_mapping}
+    configuration:
+
+    - a mutable {e working} store that {!append}-ed documents are
+      shredded into, and
+    - an immutable {e serving snapshot} ({!Legodb_relational.Storage.freeze}
+      of the working store): alias-free, statistics matching its
+      contents, and rejecting writes — which is what makes it safe to
+      read from any number of domains with no locking at all.
+
+    Reads never block writes and vice versa: requests execute against
+    the snapshot that was current when they (or their batch) started,
+    while appends mutate only the working store.  {!publish} is the
+    batched-append barrier: it freezes the working store into a fresh
+    snapshot and atomically swaps it in; in-flight requests keep their
+    old snapshot (it stays valid forever — nothing can mutate it),
+    later requests see the new one.
+
+    {2 Compiled-plan cache}
+
+    Translating a request and join-ordering its blocks costs orders of
+    magnitude more than executing a selective plan, so compiled
+    physical plans are cached.  The key is
+    {!Legodb_search.Cost_engine.statement_key} — statement identity
+    (structural, name-independent) x the fingerprints of the tables the
+    statement touches under the {e current snapshot's} catalog — so the
+    cache has exactly the cost engine's invalidation semantics: a
+    publish that leaves a statement's tables structurally unchanged
+    keeps its plan warm, and one that changes their statistics makes
+    the old key unreachable (the plan is recompiled under the new
+    statistics, never reused stale).
+
+    {2 Concurrency}
+
+    {!run_batch} fans a batch out on {!Legodb_search.Par.run_tasks}'s
+    persistent domain pool (sequential on an OCaml 4.14 build — same
+    answers, no overlap).  Shared mutable state (plan cache, counters,
+    working store) is guarded by one lock; execution — the bulk of a
+    request — runs lock-free against the immutable snapshot. *)
+
+open Legodb_relational
+open Legodb_xquery
+
+type t
+
+type reply = {
+  rows : Rtype.value list list;
+      (** the request's answer rows: every block's projected tuples, in
+          block then row order (what {!Legodb_optimizer.Executor.run_query}
+          returns) *)
+  cached : bool;  (** the physical plans came from the plan cache *)
+  latency_s : float;  (** compile (or cache probe) + execute seconds *)
+}
+
+type stats = {
+  served : int;  (** requests answered (cache-bypassing ones included) *)
+  cache_hits : int;
+  cache_misses : int;  (** compilations performed *)
+  snapshot_rows : int;  (** total rows of the current serving snapshot *)
+  snapshots_published : int;  (** {!publish} barriers, initial freeze excluded *)
+  pending_appends : int;  (** documents appended since the last publish *)
+}
+
+val create :
+  ?jobs:int ->
+  ?params:Legodb_optimizer.Cost.params ->
+  Legodb_mapping.Mapping.t ->
+  Storage.t ->
+  t
+(** Stand a server up over a loaded store (typically
+    {!Legodb_mapping.Shred.shred}'s result).  The store becomes the
+    server's working store — the caller must stop using it — and its
+    frozen copy becomes the first serving snapshot.  [?jobs] sizes
+    {!run_batch}'s parallelism ([0] or unset = one per core); the
+    worker pool is pre-spawned here, outside any timed region.
+    [?params] are the cost-model weights plans are compiled under
+    (default {!Legodb_optimizer.Cost.default_params}, the paper's
+    disk-resident calibration); a purely in-memory server should pass
+    weights with cheap seeks so selective requests compile to index
+    probes rather than scans.
+    @raise Invalid_argument if the store is itself a frozen snapshot. *)
+
+val jobs : t -> int
+
+val snapshot : t -> Storage.t
+(** The current serving snapshot (frozen; safe to hold and read
+    concurrently — it never changes, later {!publish}es swap in fresh
+    ones). *)
+
+val query : ?use_cache:bool -> t -> Xq_ast.t -> reply
+(** Answer one request against the current snapshot: translate (or hit
+    the plan cache), execute, reply.  [~use_cache:false] compiles
+    fresh without reading or writing the cache or its counters — the
+    reference path benchmarks and differential tests compare against.
+    @raise Legodb_mapping.Xq_translate.Untranslatable on a request
+    outside the supported fragment. *)
+
+val run_batch : t -> Xq_ast.t array -> (reply, string) result array
+(** Answer a batch of requests, overlapped on the domain pool (at most
+    {!jobs} at a time), all against the {e same} snapshot — the one
+    current when the batch started; a concurrent {!publish} does not
+    tear a batch.  Result [i] answers request [i].  A request the
+    translator rejects yields [Error message] for its slot — a bad
+    request never takes the server (or its batch) down. *)
+
+val append : t -> Legodb_xml.Xml.t -> unit
+(** Shred one document into the working store.  Invisible to readers
+    until the next {!publish}.
+    @raise Legodb_mapping.Shred.Shred_error when the document does not
+    fit the configuration's schema (the working store may then hold a
+    partial document — as with {!Legodb_mapping.Shred.shred_into}). *)
+
+val publish : t -> unit
+(** The batched-append barrier: freeze the working store (statistics
+    refreshed) into a fresh snapshot and swap it in for subsequent
+    requests.  Plans whose tables' statistics changed are recompiled
+    on next use; plans over untouched tables stay warm. *)
+
+val stats : t -> stats
+
+(** {1 Latency accounting} *)
+
+type summary = {
+  n : int;
+  wall_s : float;
+  qps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+val summarize : wall_s:float -> float array -> summary
+(** Percentiles (nearest-rank, in milliseconds) of a batch's
+    per-request latencies plus throughput over the batch wall clock.
+    Zero requests yield zero percentiles and QPS. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+val pp_stats : Format.formatter -> stats -> unit

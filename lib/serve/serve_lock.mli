@@ -1,0 +1,12 @@
+(** The server's one lock, build-selected like {!Legodb_search.Par}:
+    a real [Mutex] on OCaml >= 5 (where batch requests overlap on
+    domains), a no-op on 4.14 (where {!Legodb_search.Par} runs every
+    batch sequentially, so there is nothing to exclude). *)
+
+type t
+
+val create : unit -> t
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run the thunk holding the lock; always releases, even on raise.
+    Not re-entrant. *)

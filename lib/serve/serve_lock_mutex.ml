@@ -1,0 +1,9 @@
+(* Mutex-backed lock, selected on OCaml >= 5 (see serve_lock.mli). *)
+
+type t = Mutex.t
+
+let create = Mutex.create
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f

@@ -1,0 +1,8 @@
+(* No-op lock, selected on OCaml 4.14 (see serve_lock.mli): the Par
+   backend is sequential there, so requests never overlap.  Must stay
+   4.14-compatible (no stdlib Mutex). *)
+
+type t = unit
+
+let create () = ()
+let with_lock () f = f ()

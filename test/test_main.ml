@@ -26,6 +26,8 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("updates", Test_updates.suite);
       ("beam", Test_search.beam_suite);
+      ("serve", Test_serve.suite);
+      ("serve-properties", Test_serve.props);
       ("integration", Test_integration.suite);
       ("calibration", Test_integration.calibration_suite);
       ("all-queries", Test_integration.all_queries_suite);

@@ -145,4 +145,108 @@ let suite =
         let age = Rschema.column (Rschema.table (Storage.catalog db) "People") "age" in
         check_bool "min" true (age.Rschema.stats.v_min = Some 20);
         check_bool "max" true (age.Rschema.stats.v_max = Some 69));
+    (* SQL NULL semantics: a NULL key matches nothing, on every lookup
+       path, exactly as the executor's join methods already assume *)
+    case "null probe matches nothing (indexed path)" (fun () ->
+        let db = fill_db () in
+        Storage.insert db "Pets"
+          [| Rtype.V_int 300; Rtype.V_string "cat"; Rtype.V_null |];
+        check_int "null probe" 0
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"parent_People"
+                Rtype.V_null));
+        check_int "null key probe" 0
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"Pets_id" Rtype.V_null)));
+    case "null probe matches nothing (scan path)" (fun () ->
+        let db = fill_db () in
+        Storage.insert db "Pets"
+          [| Rtype.V_int 300; Rtype.V_null; Rtype.V_int 0 |];
+        check_int "null probe" 0
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"species" Rtype.V_null));
+        (* and the null row is not matched by a real probe either *)
+        check_int "cats unchanged" 150
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"species"
+                (Rtype.V_string "cat"))));
+    case "insert does not index nulls" (fun () ->
+        let db = fill_db () in
+        Storage.insert db "Pets"
+          [| Rtype.V_int 300; Rtype.V_string "cat"; Rtype.V_null |];
+        check_int "row stored" 301 (Storage.row_count db "Pets");
+        check_int "real probe unchanged" 3
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"parent_People"
+                (Rtype.V_int 5))));
+    case "refresh_stats returns an independent store" (fun () ->
+        let db = fill_db () in
+        let db2 = Storage.refresh_stats db in
+        (* writes through the old handle must be invisible to the new *)
+        Storage.insert db "Pets"
+          [| Rtype.V_int 300; Rtype.V_string "cat"; Rtype.V_int 5 |];
+        check_int "rows independent" 300 (Storage.row_count db2 "Pets");
+        check_int "index independent" 3
+          (List.length
+             (Storage.lookup db2 ~table:"Pets" ~column:"parent_People"
+                (Rtype.V_int 5)));
+        (* and vice versa *)
+        Storage.insert db2 "Pets"
+          [| Rtype.V_int 301; Rtype.V_string "dog"; Rtype.V_int 7 |];
+        check_int "rows independent (reverse)" 301 (Storage.row_count db "Pets");
+        check_int "index independent (reverse)" 4
+          (List.length
+             (Storage.lookup db ~table:"Pets" ~column:"parent_People"
+                (Rtype.V_int 5))));
+    case "freeze: immutable, independent snapshot" (fun () ->
+        let db = fill_db () in
+        let snap = Storage.freeze db in
+        check_bool "frozen" true (Storage.is_frozen snap);
+        check_bool "original not frozen" false (Storage.is_frozen db);
+        (match
+           Storage.insert snap "Pets"
+             [| Rtype.V_int 300; Rtype.V_string "cat"; Rtype.V_int 5 |]
+         with
+        | () -> Alcotest.fail "insert into a frozen snapshot must raise"
+        | exception Invalid_argument _ -> ());
+        Storage.insert db "Pets"
+          [| Rtype.V_int 300; Rtype.V_string "cat"; Rtype.V_int 5 |];
+        check_int "snapshot rows stable" 300 (Storage.row_count snap "Pets");
+        check_int "snapshot index stable" 3
+          (List.length
+             (Storage.lookup snap ~table:"Pets" ~column:"parent_People"
+                (Rtype.V_int 5))));
+    case "vec growth leaves no stale rows in spare slots" (fun () ->
+        let v = Storage.Vec.create () in
+        for i = 0 to 16 do
+          Storage.Vec.push v [| Rtype.V_int i |]
+        done;
+        (* the push that grew the array must not have parked the pushed
+           element in the spare capacity: spare slots hold the
+           already-live element 0, so popping/truncating can never keep
+           dead rows reachable *)
+        check_bool "grew" true (Storage.Vec.capacity v > Storage.Vec.length v);
+        for j = Storage.Vec.length v to Storage.Vec.capacity v - 1 do
+          check_bool
+            (Printf.sprintf "spare slot %d holds element 0" j)
+            true
+            (v.Storage.Vec.data.(j) == v.Storage.Vec.data.(0))
+        done;
+        (* and the live prefix is intact *)
+        for i = 0 to 16 do
+          check_bool
+            (Printf.sprintf "element %d" i)
+            true
+            (Storage.Vec.get v i = [| Rtype.V_int i |])
+        done);
+    case "vec copy is exact-size and independent" (fun () ->
+        let v = Storage.Vec.create () in
+        for i = 0 to 4 do
+          Storage.Vec.push v i
+        done;
+        let c = Storage.Vec.copy v in
+        check_int "len" 5 (Storage.Vec.length c);
+        check_int "no spare" 5 (Storage.Vec.capacity c);
+        Storage.Vec.push v 5;
+        check_int "copy unaffected" 5 (Storage.Vec.length c));
   ]
