@@ -1252,8 +1252,8 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
       s.Serve.p99_ms;
     s
   in
-  let batch label =
-    let replies, wall_s = time (fun () -> Serve.run_batch server reqs) in
+  let batch srv label =
+    let replies, wall_s = time (fun () -> Serve.run_batch srv reqs) in
     let latencies =
       Array.map
         (function
@@ -1263,8 +1263,8 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
     in
     summary_of label wall_s latencies
   in
-  let cold = batch "cold" in
-  let warm = batch "warm" in
+  let cold = batch server "cold" in
+  let warm = batch server "warm" in
   let stats_after = Serve.stats server in
   Printf.printf "%s\n%!"
     (Format.asprintf "%a" Serve.pp_stats stats_after);
@@ -1339,7 +1339,7 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
     failwith "serve_perf: publish did not grow the snapshot";
   Printf.printf "publish: %d -> %d rows in %.3fs\n%!" rows_before rows_after
     t_publish;
-  let post = batch "post-pub" in
+  let post = batch server "post-pub" in
   let final = Serve.stats server in
   emit
     "{\"kind\": \"serve\", \"scale\": %.3f, \"rows\": %d, \"rows_after\": %d, \
@@ -1351,6 +1351,97 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
     cached.Serve.qps nocache.Serve.qps post.Serve.qps t_publish
     final.Serve.cache_hits final.Serve.cache_misses final.Serve.served
     final.Serve.snapshots_published;
+  (* ------------------------------------------------------------------
+     durability: the same corpus served with a write-ahead log.  Three
+     things are measured and recorded: the read path must not regress
+     (WAL-on warm throughput gated at >= 0.85x the WAL-off server — a
+     read never touches the log, so a bigger gap would mean the
+     durability state leaks into the serving path), the write path's
+     log+snapshot overhead, and recovery: crash after acked appends,
+     recover, and require bit-identical answers. *)
+  print_endline "\ndurability (write-ahead log + snapshot):";
+  let dur_dir =
+    let d = Filename.temp_file "legodb_bench" ".d" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let dur, t_attach =
+    time (fun () ->
+        Serve.create ~jobs ~params:mem_params ~data_dir:dur_dir m
+          (Shred.shred m doc))
+  in
+  Printf.printf "standing store: %s (initial snapshot %.2fs)\n%!" dur_dir
+    t_attach;
+  let _wal_cold = batch dur "wal-cold" in
+  let wal_warm = batch dur "wal-warm" in
+  if (not smoke) && wal_warm.Serve.qps < 0.85 *. warm.Serve.qps then
+    failwith
+      (Printf.sprintf
+         "serve_perf: WAL-on warm qps %.0f below 0.85x the WAL-off %.0f"
+         wal_warm.Serve.qps warm.Serve.qps);
+  let extra_docs =
+    Array.init 4 (fun i ->
+        Imdb.Gen.generate { (Imdb.Gen.scaled 0.002) with Imdb.Gen.seed = 200 + i })
+  in
+  let (), t_dur_append =
+    time (fun () -> Array.iter (Serve.append dur) extra_docs)
+  in
+  let (), t_dur_publish = time (fun () -> Serve.publish dur) in
+  Printf.printf "durable appends: %d in %.3fs (fsync each), publish %.3fs\n%!"
+    (Array.length extra_docs) t_dur_append t_dur_publish;
+  (* published answers, then two acked-but-unpublished appends, then
+     the crash: the handle is abandoned with its log fsynced — exactly
+     the disk a kill -9 leaves *)
+  let n_sample_dur = min n_sample n_req in
+  let pre =
+    Array.init n_sample_dur (fun i -> (Serve.query dur reqs.(i)).Serve.rows)
+  in
+  Serve.append dur extra_docs.(0);
+  Serve.append dur extra_docs.(1);
+  let (recovered, rinfo), t_recover =
+    time (fun () ->
+        Serve.recover ~jobs ~params:mem_params ~mapping:m ~dir:dur_dir ())
+  in
+  Printf.printf "recovery: %s in %.3fs\n%!"
+    (Format.asprintf "%a" Serve.pp_recovery rinfo)
+    t_recover;
+  if (Serve.stats recovered).Serve.pending_appends <> 2 then
+    failwith "serve_perf: recovery lost acked appends";
+  Array.iteri
+    (fun i rows ->
+      if (Serve.query recovered reqs.(i)).Serve.rows <> rows then
+        failwith
+          (Printf.sprintf
+             "serve_perf: recovered answer %d differs from the pre-crash \
+              server"
+             i))
+    pre;
+  Printf.printf
+    "differential: %d recovered answers bit-identical to the pre-crash \
+     server\n\
+     %!"
+    n_sample_dur;
+  emit
+    "{\"kind\": \"durability\", \"wal_warm_qps\": %.1f, \"wal_off_qps\": \
+     %.1f, \"qps_ratio\": %.3f, \"initial_snapshot_s\": %.4f, \
+     \"append_fsync_s\": %.4f, \"durable_publish_s\": %.4f, \"recover_s\": \
+     %.4f, \"snapshot_rows\": %d, \"snapshot_seq\": %d, \"replayed\": %d, \
+     \"skipped\": %d, \"recovered_seq\": %d, \"dropped_bytes\": %d, \
+     \"torn\": %s}"
+    wal_warm.Serve.qps warm.Serve.qps
+    (wal_warm.Serve.qps /. warm.Serve.qps)
+    t_attach t_dur_append t_dur_publish t_recover rinfo.Serve.r_snapshot_rows
+    rinfo.Serve.r_snapshot_seq rinfo.Serve.r_replayed rinfo.Serve.r_skipped
+    rinfo.Serve.r_recovered_seq rinfo.Serve.r_dropped_bytes
+    (match rinfo.Serve.r_torn with
+    | None -> "null"
+    | Some w -> Printf.sprintf "\"%s\"" (String.escaped w));
+  (* the recovered server is disposable: drop its files *)
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dur_dir f))
+    (Sys.readdir dur_dir);
+  Unix.rmdir dur_dir;
   Buffer.add_string buf "\n]\n";
   print_newline ();
   print_string (Buffer.contents buf);

@@ -291,69 +291,124 @@ let serve_cmd =
     in
     Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
-  let run schema_name config workload scale seed served_doc requests jobs =
-    match schema_of_name schema_name with
-    | Error m -> fail "%s" m
-    | Ok schema -> (
-        let doc =
-          match served_doc with
-          | Some f -> Xml_parse.parse_file f
-          | None ->
-              Imdb.Gen.generate { (Imdb.Gen.scaled scale) with Imdb.Gen.seed }
+  let data_dir =
+    let doc =
+      "Serve durably out of $(docv): appends are write-ahead logged and \
+       fsynced before they are acknowledged, publishes snapshot the store \
+       atomically.  If the directory already holds a snapshot the server is \
+       $(i,recovered) from it (snapshot + log replay; a torn log tail is \
+       truncated and reported, real corruption exits with code 8) and the \
+       corpus/schema flags are ignored."
+    in
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  in
+  let appends =
+    let doc =
+      "After the query passes, append $(docv) small generated IMDB documents \
+       (seeded deterministically from $(b,--seed))."
+    in
+    Arg.(value & opt int 0 & info [ "appends" ] ~docv:"N" ~doc)
+  in
+  let publish_every =
+    let doc = "Publish after every $(docv) appends (0 = never)." in
+    Arg.(value & opt int 0 & info [ "publish-every" ] ~docv:"K" ~doc)
+  in
+  let crash_after =
+    let doc =
+      "Fault injection: SIGKILL this process immediately after the $(docv)-th \
+       append is acknowledged — the crash the recovery path (and the CI \
+       durability smoke) is tested against."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-after" ] ~docv:"K" ~doc)
+  in
+  let timeout_ms =
+    let doc =
+      "Give every request a $(docv)-millisecond wall-clock budget; a request \
+       over budget degrades to an error slot instead of wedging its worker."
+    in
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let run schema_name config workload scale seed served_doc requests jobs
+      data_dir appends publish_every crash_after timeout_ms =
+    let server =
+      match data_dir with
+      | Some dir when Sys.file_exists (Wal.snapshot_file dir) ->
+          let server, r = Serve.recover ~jobs ~dir () in
+          Format.printf "recovered %s: %a@." dir Serve.pp_recovery r;
+          Ok server
+      | _ -> (
+          match schema_of_name schema_name with
+          | Error m -> Error m
+          | Ok schema -> (
+              let doc =
+                match served_doc with
+                | Some f -> Xml_parse.parse_file f
+                | None ->
+                    Imdb.Gen.generate
+                      { (Imdb.Gen.scaled scale) with Imdb.Gen.seed }
+              in
+              let stats = Collector.collect doc in
+              match configuration schema stats config with
+              | Error m -> Error m
+              | Ok ps -> (
+                  match Mapping.of_pschema ps with
+                  | Error es -> Error (String.concat "; " es)
+                  | Ok m ->
+                      Ok (Serve.create ~jobs ?data_dir m (Shred.shred m doc)))))
+    in
+    match (server, load_workload workload) with
+    | Error m, _ | _, Error m -> fail "%s" m
+    | Ok server, Ok w ->
+        Format.printf "%a@." Storage.pp_summary (Serve.snapshot server);
+        let qs = Array.of_list (List.map fst w) in
+        let reqs =
+          Array.init (max 1 requests) (fun i -> qs.(i mod Array.length qs))
         in
-        let stats = Collector.collect doc in
-        match (configuration schema stats config, load_workload workload) with
-        | Error m, _ | _, Error m -> fail "%s" m
-        | Ok ps, Ok w -> (
-            match Mapping.of_pschema ps with
-            | Error es -> fail "%s" (String.concat "; " es)
-            | Ok m ->
-                let server = Serve.create ~jobs m (Shred.shred m doc) in
-                Format.printf "%a@." Storage.pp_summary (Serve.snapshot server);
-                let qs = Array.of_list (List.map fst w) in
-                let reqs =
-                  Array.init (max 1 requests) (fun i ->
-                      qs.(i mod Array.length qs))
-                in
-                (* the first batch compiles every distinct statement into
-                   the plan cache; the second replays the same requests
-                   and should be all cache hits *)
-                let pass label =
-                  let t0 = Unix.gettimeofday () in
-                  let replies = Serve.run_batch server reqs in
-                  let wall_s = Unix.gettimeofday () -. t0 in
-                  let latencies =
-                    Array.to_list replies
-                    |> List.filter_map (function
-                         | Ok (r : Serve.reply) -> Some r.Serve.latency_s
-                         | Error _ -> None)
-                    |> Array.of_list
-                  in
-                  let errs =
-                    Array.fold_left
-                      (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
-                      0 replies
-                  in
-                  Format.printf "%s: %a%s@." label Serve.pp_summary
-                    (Serve.summarize ~wall_s latencies)
-                    (if errs > 0 then
-                       Printf.sprintf " (%d untranslatable)" errs
-                     else "");
-                  errs
-                in
-                let errs = pass "cold" in
-                ignore (pass "warm");
-                Format.printf "%a@." Serve.pp_stats (Serve.stats server);
-                if errs = Array.length reqs then
-                  fail
-                    "no workload query is answerable under this configuration"
-                else `Ok ()))
+        (* the first batch compiles every distinct statement into
+           the plan cache; the second replays the same requests
+           and should be all cache hits *)
+        let pass label =
+          let t0 = Unix.gettimeofday () in
+          let replies = Serve.run_batch ?timeout_ms server reqs in
+          let wall_s = Unix.gettimeofday () -. t0 in
+          let latencies =
+            Array.to_list replies
+            |> List.filter_map (function
+                 | Ok (r : Serve.reply) -> Some r.Serve.latency_s
+                 | Error _ -> None)
+            |> Array.of_list
+          in
+          let errs =
+            Array.fold_left
+              (fun acc -> function Error _ -> acc + 1 | Ok _ -> acc)
+              0 replies
+          in
+          Format.printf "%s: %a%s@." label Serve.pp_summary
+            (Serve.summarize ~wall_s latencies)
+            (if errs > 0 then Printf.sprintf " (%d errors)" errs else "");
+          errs
+        in
+        let errs = pass "cold" in
+        ignore (pass "warm");
+        for i = 1 to max 0 appends do
+          let p = { (Imdb.Gen.scaled 0.002) with Imdb.Gen.seed = seed + i } in
+          Serve.append server (Imdb.Gen.generate p);
+          (* after the ack: an acknowledged append must survive the kill *)
+          if crash_after = Some i then Unix.kill (Unix.getpid ()) Sys.sigkill;
+          if publish_every > 0 && i mod publish_every = 0 then
+            Serve.publish server
+        done;
+        Format.printf "%a@." Serve.pp_stats (Serve.stats server);
+        if errs = Array.length reqs then
+          fail "no workload query is answerable under this configuration"
+        else `Ok ()
   in
   let term =
     Term.(
       ret
         (const run $ schema_arg $ config_arg $ workload_arg $ scale $ seed
-       $ served_doc $ requests $ jobs))
+       $ served_doc $ requests $ jobs $ data_dir $ appends $ publish_every
+       $ crash_after $ timeout_ms))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -553,6 +608,9 @@ let transforms_cmd =
      6  shredding failure
      7  corrupt checkpoint snapshot (--resume refuses it; never a
         silent restart)
+     8  corrupt store (serve --data-dir found a snapshot or WAL that is
+        bit-flipped, truncated mid-file, wrong-version, or
+        wrong-magic; recovery refuses to serve rather than guess)
    130  interrupted (SIGINT; the best-so-far design is still printed,
         and with --checkpoint a final snapshot is written first) *)
 let () =
@@ -598,6 +656,9 @@ let () =
     | Checkpoint.Corrupt m ->
         oneliner "corrupt checkpoint: %s" m;
         7
+    | Wal.Corrupt m ->
+        oneliner "corrupt store: %s" m;
+        8
     | Sys_error m ->
         oneliner "%s" m;
         2)

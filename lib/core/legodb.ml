@@ -1,6 +1,7 @@
 (* The public facade: one module to open, re-exporting every component
    library under a short name, plus the one-call design API. *)
 
+module Wire = Legodb_wire.Wire
 module Xml = Legodb_xml.Xml
 module Xml_parse = Legodb_xml.Xml_parse
 module Label = Legodb_xtype.Label
@@ -43,6 +44,7 @@ module Budget = Legodb_search.Budget
 module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
+module Wal = Legodb_serve.Wal
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema

@@ -15,6 +15,7 @@
 
 (** {1 Components} *)
 
+module Wire = Legodb_wire.Wire
 module Xml = Legodb_xml.Xml
 module Xml_parse = Legodb_xml.Xml_parse
 module Label = Legodb_xtype.Label
@@ -57,6 +58,7 @@ module Budget = Legodb_search.Budget
 module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
+module Wal = Legodb_serve.Wal
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig

@@ -209,6 +209,76 @@ let with_refreshed_catalog db ~frozen =
 let refresh_stats db = with_refreshed_catalog db ~frozen:db.frozen
 let freeze db = with_refreshed_catalog db ~frozen:true
 
+(* ------------------------------------------------------------------ *)
+(* durable row dump (the payload layer of snapshots and WAL records)   *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = Legodb_wire.Wire
+
+let write_value b = function
+  | Rtype.V_null -> Wire.w_line b "n"
+  | Rtype.V_int n ->
+      Wire.w_line b "i";
+      Wire.w_int b n
+  | Rtype.V_string s ->
+      Wire.w_line b "s";
+      Wire.w_str b s
+
+let read_value cur =
+  match Wire.r_line cur with
+  | "n" -> Rtype.V_null
+  | "i" -> Rtype.V_int (Wire.r_int cur)
+  | "s" -> Rtype.V_string (Wire.r_str cur)
+  | s -> Wire.corrupt "malformed payload: unknown value tag %S" s
+
+let write_row b (row : row) =
+  Array.iter (write_value b) row
+
+let read_row cur ~arity : row = Array.init arity (fun _ -> read_value cur)
+
+(* tables in catalog order, each as name / arity / row count / rows, so
+   a dump of a store is deterministic and a reload into a fresh store
+   for the same catalog reproduces it row for row (ids, order, and
+   index contents included — insert rebuilds the indexes) *)
+let write_rows b db =
+  Wire.w_int b (List.length db.cat.tables);
+  List.iter
+    (fun (tbl : Rschema.table) ->
+      let td = table_data db tbl.tname in
+      let arity = List.length tbl.columns in
+      Wire.w_str b tbl.tname;
+      Wire.w_int b arity;
+      Wire.w_int b (Vec.length td.rows);
+      Seq.iter (write_row b) (Vec.to_seq td.rows))
+    db.cat.tables
+
+let read_rows cur db =
+  let n = Wire.r_int cur in
+  if n <> List.length db.cat.tables then
+    Wire.corrupt
+      "malformed payload: dump has %d tables, the catalog declares %d" n
+      (List.length db.cat.tables);
+  List.iter
+    (fun (tbl : Rschema.table) ->
+      let tname = Wire.r_str cur in
+      if not (String.equal tname tbl.tname) then
+        Wire.corrupt "malformed payload: dump table %S where catalog expects %S"
+          tname tbl.tname;
+      let arity = Wire.r_int cur in
+      if arity <> List.length tbl.columns then
+        Wire.corrupt
+          "malformed payload: table %s has arity %d in the dump, %d in the \
+           catalog"
+          tname arity
+          (List.length tbl.columns);
+      let rows = Wire.r_int cur in
+      if rows < 0 then
+        Wire.corrupt "malformed payload: negative row count %d" rows;
+      for _ = 1 to rows do
+        insert db tname (read_row cur ~arity)
+      done)
+    db.cat.tables
+
 let pp_summary fmt db =
   List.iter
     (fun (tbl : Rschema.table) ->

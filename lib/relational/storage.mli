@@ -92,3 +92,30 @@ val is_frozen : t -> bool
 
 val total_rows : t -> int
 val pp_summary : Format.formatter -> t -> unit
+
+(** {1 Durable row dump}
+
+    The row-level codec behind the query server's storage snapshots and
+    write-ahead log ({!Legodb_serve.Wal}), in the shared
+    {!Legodb_wire.Wire} format.  A dump stores data only — the catalog
+    travels separately (as the p-schema it derives from) and statistics
+    are recomputed by {!freeze} — and reloading a dump into a fresh
+    store for the same catalog reproduces it row for row: positions,
+    ids, and index contents included.  Readers raise
+    {!Legodb_wire.Wire.Corrupt} on malformed input (wrong table set,
+    arity mismatch, bad value tags). *)
+
+val write_value : Buffer.t -> Rtype.value -> unit
+val read_value : Legodb_wire.Wire.cursor -> Rtype.value
+
+val write_row : Buffer.t -> row -> unit
+val read_row : Legodb_wire.Wire.cursor -> arity:int -> row
+
+val write_rows : Buffer.t -> t -> unit
+(** Every table of the catalog, in catalog order. *)
+
+val read_rows : Legodb_wire.Wire.cursor -> t -> unit
+(** Insert a dump's rows into [t] (normally fresh-created from the same
+    catalog); indexes are maintained by the inserts.  @raise
+    Legodb_wire.Wire.Corrupt if the dump's tables or arities do not
+    match the catalog. *)

@@ -5,14 +5,23 @@
    in the payload is caught by the CRC before decoding begins.  Floats
    travel as %h hex literals: costs, statistics annotations, and timer
    totals round-trip bit-exactly, which is what lets a resumed search
-   agree bit for bit with an uninterrupted one. *)
+   agree bit for bit with an uninterrupted one.
+
+   The generic layer — CRC-32, token writers/readers, header framing,
+   atomic writes — lives in the shared Wire module (lib/core), which
+   the storage snapshot and the query server's WAL reuse; this file
+   keeps only the search-specific term codec.  Internally everything
+   raises Wire.Corrupt; the decode/load boundary wraps it into this
+   module's Corrupt so callers (and the CLI's exit-7 path) are
+   unchanged. *)
 
 open Legodb_xtype
 open Legodb_transform
+module Wire = Legodb_wire.Wire
 
 exception Corrupt of string
 
-let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+let corrupt fmt = Wire.corrupt fmt
 
 type failure = {
   f_iteration : int;
@@ -55,62 +64,18 @@ type state = {
   cache : (string * float) list;
 }
 
-(* ------------------------------------------------------------------ *)
-(* CRC-32 (IEEE 802.3), table-driven                                   *)
-(* ------------------------------------------------------------------ *)
-
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      c :=
-        Int32.logxor
-          table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl))
-          (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+let crc32 = Wire.crc32
 
 (* ------------------------------------------------------------------ *)
-(* payload writers                                                     *)
+(* payload writers (generic layer from Wire)                           *)
 (* ------------------------------------------------------------------ *)
 
-(* tokens (tags, ints, floats) are newline-terminated; strings are
-   length-prefixed so they may contain anything, newlines included *)
-
-let w_line b s =
-  Buffer.add_string b s;
-  Buffer.add_char b '\n'
-
-let w_int b n = w_line b (string_of_int n)
-let w_float b f = w_line b (Printf.sprintf "%h" f)
-
-let w_str b s =
-  w_int b (String.length s);
-  Buffer.add_string b s;
-  Buffer.add_char b '\n'
-
-let w_list b f l =
-  w_int b (List.length l);
-  List.iter (f b) l
-
-let w_opt b f = function
-  | None -> w_line b "-"
-  | Some v ->
-      w_line b "+";
-      f b v
+let w_line = Wire.w_line
+let w_int = Wire.w_int
+let w_float = Wire.w_float
+let w_str = Wire.w_str
+let w_list = Wire.w_list
+let w_opt = Wire.w_opt
 
 let w_bound b = function
   | Xtype.Unbounded -> w_line b "*"
@@ -298,53 +263,15 @@ let w_state b st =
     st.cache
 
 (* ------------------------------------------------------------------ *)
-(* payload readers                                                     *)
+(* payload readers (generic layer from Wire)                           *)
 (* ------------------------------------------------------------------ *)
 
-type cursor = { buf : string; mutable pos : int }
-
-let r_line cur =
-  match String.index_from_opt cur.buf cur.pos '\n' with
-  | None -> corrupt "malformed payload: unterminated token at byte %d" cur.pos
-  | Some nl ->
-      let s = String.sub cur.buf cur.pos (nl - cur.pos) in
-      cur.pos <- nl + 1;
-      s
-
-let r_int cur =
-  let s = r_line cur in
-  match int_of_string_opt s with
-  | Some n -> n
-  | None -> corrupt "malformed payload: expected an integer, got %S" s
-
-let r_float cur =
-  let s = r_line cur in
-  match float_of_string_opt s with
-  | Some f -> f
-  | None -> corrupt "malformed payload: expected a float, got %S" s
-
-let r_str cur =
-  let n = r_int cur in
-  if n < 0 || cur.pos + n + 1 > String.length cur.buf then
-    corrupt "malformed payload: string of %d bytes overruns the payload" n
-  else begin
-    let s = String.sub cur.buf cur.pos n in
-    if cur.buf.[cur.pos + n] <> '\n' then
-      corrupt "malformed payload: unterminated string at byte %d" cur.pos;
-    cur.pos <- cur.pos + n + 1;
-    s
-  end
-
-let r_list cur f =
-  let n = r_int cur in
-  if n < 0 then corrupt "malformed payload: negative list length %d" n;
-  List.init n (fun _ -> f cur)
-
-let r_opt cur f =
-  match r_line cur with
-  | "-" -> None
-  | "+" -> Some (f cur)
-  | s -> corrupt "malformed payload: expected an option marker, got %S" s
+let r_line = Wire.r_line
+let r_int = Wire.r_int
+let r_float = Wire.r_float
+let r_str = Wire.r_str
+let r_list = Wire.r_list
+let r_opt = Wire.r_opt
 
 let r_bound cur =
   match r_line cur with
@@ -520,9 +447,9 @@ let r_state cur =
         let v = r_float cur in
         (k, v))
   in
-  if cur.pos <> String.length cur.buf then
+  if cur.Wire.pos <> String.length cur.Wire.buf then
     corrupt "malformed payload: %d trailing bytes"
-      (String.length cur.buf - cur.pos);
+      (String.length cur.Wire.buf - cur.Wire.pos);
   {
     strategy;
     kinds;
@@ -542,76 +469,30 @@ let r_state cur =
 let magic = "LEGODB-CKPT"
 let version = 1
 
+(* the search-term writers/readers above raise Wire.Corrupt; the public
+   boundary rewraps it so callers keep matching Checkpoint.Corrupt *)
+let wrap_corrupt f x =
+  try f x with Wire.Corrupt m -> raise (Corrupt m)
+
 let encode st =
   let b = Buffer.create 4096 in
   w_state b st;
-  let payload = Buffer.contents b in
-  Printf.sprintf "%s %d %08lx %d\n%s" magic version (crc32 payload)
-    (String.length payload)
-    payload
+  Wire.frame ~magic ~version (Buffer.contents b)
 
 let decode image =
-  let header, body =
-    match String.index_opt image '\n' with
-    | None -> corrupt "truncated checkpoint: no header line"
-    | Some nl ->
-        ( String.sub image 0 nl,
-          String.sub image (nl + 1) (String.length image - nl - 1) )
-  in
-  let m, v, crc, len =
-    match String.split_on_char ' ' header with
-    | [ m; v; crc; len ] -> (m, v, crc, len)
-    | _ -> corrupt "bad magic: not a LegoDB checkpoint"
-  in
-  if not (String.equal m magic) then
-    corrupt "bad magic: not a LegoDB checkpoint";
-  (match int_of_string_opt v with
-  | Some v when v = version -> ()
-  | Some v -> corrupt "unsupported checkpoint version %d (this build reads %d)" v version
-  | None -> corrupt "malformed header: version %S is not a number" v);
-  let len =
-    match int_of_string_opt len with
-    | Some n when n >= 0 -> n
-    | _ -> corrupt "malformed header: payload length %S" len
-  in
-  if String.length body < len then
-    corrupt "truncated checkpoint: header promises %d payload bytes, found %d"
-      len (String.length body);
-  if String.length body > len then
-    corrupt "malformed checkpoint: %d bytes beyond the declared payload"
-      (String.length body - len);
-  let expected =
-    match Int32.of_string_opt ("0x" ^ crc) with
-    | Some c -> c
-    | None -> corrupt "malformed header: checksum %S is not hex" crc
-  in
-  let actual = crc32 body in
-  if not (Int32.equal expected actual) then
-    corrupt "checksum mismatch: header says %08lx, payload hashes to %08lx"
-      expected actual;
-  r_state { buf = body; pos = 0 }
+  wrap_corrupt
+    (fun image ->
+      let body = Wire.unframe ~magic ~version ~kind:"checkpoint" image in
+      r_state (Wire.cursor body))
+    image
 
-let save ~path st =
-  let image = encode st in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (match output_string oc image with
-  | () -> close_out oc
-  | exception e ->
-      close_out_noerr oc;
-      raise e);
-  Sys.rename tmp path
+(* schema codec, exported for the storage snapshot (lib/serve/wal.ml):
+   raises Wire.Corrupt like the rest of the Wire layer *)
+let write_schema = w_schema
+let read_schema = r_schema
 
-let load path =
-  let ic = open_in_bin path in
-  let image =
-    match really_input_string ic (in_channel_length ic) with
-    | s -> close_in ic; s
-    | exception e ->
-        close_in_noerr ic;
-        raise e
-  in
-  decode image
+let save ~path st = Wire.write_atomic ~path (encode st)
+let load path = decode (Wire.read_file path)
 
 (* ------------------------------------------------------------------ *)
 (* equality (for the round-trip property tests)                        *)

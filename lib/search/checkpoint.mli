@@ -96,9 +96,12 @@ type state = {
 }
 
 val save : path:string -> state -> unit
-(** Serialize and write atomically: the snapshot is written to
-    [path ^ ".tmp"] and renamed over [path], so readers never observe a
-    half-written file.  @raise Sys_error on I/O failure. *)
+(** Serialize and write atomically and durably
+    ({!Legodb_wire.Wire.write_atomic}): the snapshot is written to
+    [path ^ ".tmp"], fsynced, renamed over [path], and the parent
+    directory is fsynced — so readers never observe a half-written
+    file, and a completed save survives power loss, not just process
+    death.  @raise Sys_error / [Unix.Unix_error] on I/O failure. *)
 
 val load : string -> state
 (** Read and validate a snapshot: magic, version, payload length, and
@@ -118,4 +121,17 @@ val equal : state -> state -> bool
 
 val crc32 : string -> int32
 (** CRC-32 (IEEE 802.3) of a string; exposed so tests can forge headers
-    with valid checksums. *)
+    with valid checksums.  (Alias of {!Legodb_wire.Wire.crc32}.) *)
+
+(** {1 Schema codec}
+
+    The exact structural p-schema codec (statistics annotations
+    included), exported so other durable artifacts — the query server's
+    storage snapshot — embed configurations with the same
+    bit-exactness.  Unlike {!load}/{!decode}, these raise
+    {!Legodb_wire.Wire.Corrupt}, which the embedding artifact wraps in
+    its own error. *)
+
+val write_schema : Buffer.t -> Xschema.t -> unit
+val read_schema : Legodb_wire.Wire.cursor -> Xschema.t
+

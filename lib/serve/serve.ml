@@ -1,5 +1,7 @@
 module Storage = Legodb_relational.Storage
+module Rschema = Legodb_relational.Rschema
 module Rtype = Legodb_relational.Rtype
+module Wire = Legodb_wire.Wire
 module Mapping = Legodb_mapping.Mapping
 module Xq_translate = Legodb_mapping.Xq_translate
 module Shred = Legodb_mapping.Shred
@@ -46,6 +48,18 @@ type stats = {
   pending_appends : int;
 }
 
+(* durability state: the WAL every acknowledged append is fsynced to,
+   and the directory whose snapshot each publish rewrites.  After a WAL
+   I/O failure the server is fail-stop for writes ([broken]): the
+   failed append was never acknowledged, and acknowledging anything
+   after it would leave a hole for replay. *)
+type durable = {
+  dir : string;
+  dfs : Wire.fs;
+  wal : Wal.t;
+  mutable broken : string option;
+}
+
 type t = {
   mapping : Mapping.t;
   working : Storage.t;
@@ -62,6 +76,8 @@ type t = {
   mutable pending : int;
   jobs : int;
   params : Cost.params;
+  clock : unit -> float;
+  mutable dur : durable option;
 }
 
 (* compiled plans for dropped snapshots accumulate under their
@@ -70,7 +86,8 @@ type t = {
    exceeds this many entries (recompiling is cheap and rare) *)
 let max_cached_plans = 4096
 
-let create ?(jobs = 0) ?(params = Cost.default_params) mapping db =
+let make ?(jobs = 0) ?(params = Cost.default_params)
+    ?(clock = Unix.gettimeofday) mapping db =
   if Storage.is_frozen db then
     invalid_arg "Serve.create: the working store must not be frozen";
   let jobs = if jobs <= 0 then Par.default_jobs () else jobs in
@@ -93,7 +110,32 @@ let create ?(jobs = 0) ?(params = Cost.default_params) mapping db =
     pending = 0;
     jobs;
     params;
+    clock;
+    dur = None;
   }
+
+let write_snapshot_of t ~fs ~dir ~last_seq frozen =
+  Wal.write_snapshot ~fs ~path:(Wal.snapshot_file dir)
+    ~schema:t.mapping.Mapping.schema ~ordered:t.mapping.Mapping.ordered
+    ~last_seq frozen
+
+let create ?jobs ?params ?clock ?data_dir ?(fs = Wire.real_fs) mapping db =
+  let t = make ?jobs ?params ?clock mapping db in
+  (match data_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      if Sys.file_exists (Wal.snapshot_file dir) then
+        invalid_arg
+          (Printf.sprintf
+             "Serve.create: %s already holds a snapshot (recover it instead)"
+             dir);
+      (* the initial freeze is published state: snapshot it before the
+         first append so recovery never has less than a create saw *)
+      write_snapshot_of t ~fs ~dir ~last_seq:0 (Atomic.get t.snap).db;
+      let wal = Wal.create ~fs ~next_seq:1 (Wal.wal_file dir) in
+      t.dur <- Some { dir; dfs = fs; wal; broken = None });
+  t
 
 let jobs t = t.jobs
 let snapshot t = (Atomic.get t.snap).db
@@ -159,21 +201,37 @@ let plans_for t (snap : snap) (tr : translation) =
       in
       (p, false)
 
-let query_on t (snap : snap) ?(use_cache = true) q =
-  let t0 = Unix.gettimeofday () in
+exception Timed_out
+
+(* cooperative per-request deadline: the clock is consulted before
+   every block of the plan, so a request that blows its budget degrades
+   to a structured [Error] slot at the next block boundary instead of
+   wedging its worker forever (a block itself is never interrupted —
+   granularity is one block's execution) *)
+let run_blocks t db ~deadline plans =
+  List.concat_map
+    (fun (plan, out) ->
+      (match deadline with
+      | Some d when t.clock () >= d -> raise Timed_out
+      | _ -> ());
+      fst (Executor.run_block db plan out))
+    plans
+
+let query_on t (snap : snap) ?(use_cache = true) ?deadline q =
+  let t0 = t.clock () in
   let plans, cached =
     if use_cache then plans_for t snap (translation t q)
     else
       let lq = Xq_translate.translate t.mapping q in
       (compile_blocks ~params:t.params (Storage.catalog snap.db) lq, false)
   in
-  let rows, _measures = Executor.run_query snap.db plans in
+  let rows = run_blocks t snap.db ~deadline plans in
   Serve_lock.with_lock t.lock (fun () -> t.served <- t.served + 1);
-  { rows; cached; latency_s = Unix.gettimeofday () -. t0 }
+  { rows; cached; latency_s = t.clock () -. t0 }
 
 let query ?use_cache t q = query_on t (Atomic.get t.snap) ?use_cache q
 
-let run_batch t qs =
+let run_batch ?timeout_ms t qs =
   let n = Array.length qs in
   (* the whole batch reads one snapshot: a publish racing the batch
      swaps the snapshot for *later* batches, it never tears this one *)
@@ -181,25 +239,187 @@ let run_batch t qs =
   let out = Array.make n (Error "unanswered") in
   ignore
     (Par.run_tasks ~jobs:t.jobs n (fun ~worker:_ i ->
+         (* each request gets its own budget, from its own start *)
+         let deadline =
+           Option.map (fun ms -> t.clock () +. (float_of_int ms /. 1000.)) timeout_ms
+         in
          out.(i) <-
-           (match query_on t snap qs.(i) with
+           (match query_on t snap ?deadline qs.(i) with
            | reply -> Ok reply
            | exception Xq_translate.Untranslatable m ->
-               Error (Printf.sprintf "untranslatable: %s" m))));
+               Error (Printf.sprintf "untranslatable: %s" m)
+           | exception Timed_out ->
+               Error
+                 (Printf.sprintf "timeout: request exceeded %dms"
+                    (Option.value ~default:0 timeout_ms)))));
   out
+
+(* run [f] (which inserts into the working store) and log exactly the
+   rows it added, so the durable log mirrors the in-memory store even
+   when shredding fails partway (the partial rows are logged too, then
+   the error re-raised — same partial-document semantics as the
+   in-memory path).  Caller holds the lock. *)
+let wal_capture t f =
+  match t.dur with
+  | None -> f ()
+  | Some d -> (
+      (match d.broken with
+      | Some m ->
+          failwith
+            (Printf.sprintf
+               "Serve.append: fail-stop after a WAL write failure (%s)" m)
+      | None -> ());
+      let cat = Storage.catalog t.working in
+      let before =
+        List.map
+          (fun (tbl : Rschema.table) ->
+            (tbl.Rschema.tname, Storage.row_count t.working tbl.Rschema.tname))
+          cat.Rschema.tables
+      in
+      let res = match f () with () -> Ok () | exception e -> Error e in
+      let added =
+        List.filter_map
+          (fun (tname, n0) ->
+            let n1 = Storage.row_count t.working tname in
+            if n1 > n0 then
+              Some
+                ( tname,
+                  List.init (n1 - n0) (fun i -> Storage.get t.working tname (n0 + i))
+                )
+            else None)
+          before
+      in
+      (try ignore (Wal.append d.wal added)
+       with e ->
+         (* the record may be torn on disk; nothing was acknowledged.
+            Refuse further writes — replay must never see a hole. *)
+         d.broken <- Some (Printexc.to_string e);
+         raise e);
+      match res with Ok () -> () | Error e -> raise e)
 
 let append t doc =
   Serve_lock.with_lock t.lock (fun () ->
-      Shred.shred_into t.working t.mapping doc;
+      wal_capture t (fun () -> Shred.shred_into t.working t.mapping doc);
       t.pending <- t.pending + 1)
 
 let publish t =
   Serve_lock.with_lock t.lock (fun () ->
       let frozen = Storage.freeze t.working in
+      (* snapshot first, then truncate the log: a crash between the two
+         leaves already-snapshotted records in the log, which replay
+         skips by sequence number — never a window with neither *)
+      (match t.dur with
+      | None -> ()
+      | Some d ->
+          write_snapshot_of t ~fs:d.dfs ~dir:d.dir
+            ~last_seq:(Wal.next_seq d.wal - 1) frozen;
+          Wal.reset d.wal);
       Atomic.set t.snap
         { db = frozen; fps = Mapping.fingerprint_index (Storage.catalog frozen) };
       t.published <- t.published + 1;
       t.pending <- 0)
+
+(* ------------------------------------------------------------------ *)
+(* recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  r_snapshot_rows : int;
+  r_snapshot_seq : int;
+  r_replayed : int;
+  r_skipped : int;
+  r_recovered_seq : int;
+  r_torn : string option;
+  r_dropped_bytes : int;
+}
+
+let recover ?jobs ?params ?clock ?(fs = Wire.real_fs) ?mapping ~dir () =
+  let snap = Wal.load_snapshot (Wal.snapshot_file dir) in
+  let mapping =
+    match mapping with
+    | Some m -> m
+    | None -> (
+        match
+          Mapping.of_pschema ~order_columns:snap.Wal.s_ordered snap.Wal.s_schema
+        with
+        | Ok m -> m
+        | Error errs ->
+            raise
+              (Wal.Corrupt
+                 (Printf.sprintf "snapshot schema does not map: %s"
+                    (String.concat "; " errs))))
+  in
+  let db = Storage.create mapping.Mapping.catalog in
+  snap.Wal.s_fill db;
+  let snapshot_rows = Storage.total_rows db in
+  let rep = Wal.replay_file (Wal.wal_file dir) in
+  let last = snap.Wal.s_last_seq in
+  (* records the snapshot already covers (a crash landed between the
+     snapshot rename and the log truncation) are skipped; the rest must
+     continue exactly where the snapshot ends *)
+  let skipped, applied =
+    List.partition (fun (r : Wal.record) -> r.Wal.seq <= last) rep.Wal.records
+  in
+  (match applied with
+  | first :: _ when first.Wal.seq <> last + 1 ->
+      raise
+        (Wal.Corrupt
+           (Printf.sprintf
+              "WAL gap: snapshot covers up to record %d but replay continues \
+               at %d"
+              last first.Wal.seq))
+  | _ -> ());
+  let recovered_seq =
+    List.fold_left (fun _ (r : Wal.record) -> r.Wal.seq) last applied
+  in
+  (* the snapshot is the published state: freeze it for serving before
+     replay, so replayed appends are pending (unpublished) — exactly
+     what a never-crashed server shows, where unacked publishes don't
+     exist and unpublished appends are invisible to readers *)
+  let t = make ?jobs ?params ?clock mapping db in
+  List.iter
+    (fun (r : Wal.record) ->
+      List.iter
+        (fun (tname, rows) -> List.iter (Storage.insert t.working tname) rows)
+        r.Wal.rows)
+    applied;
+  t.pending <- List.length applied;
+  let wal_path = Wal.wal_file dir in
+  let wal =
+    if Sys.file_exists wal_path then
+      let size = (Unix.stat wal_path).Unix.st_size in
+      Wal.reopen ~fs
+        ~valid_bytes:(size - rep.Wal.dropped_bytes)
+        ~next_seq:(recovered_seq + 1) wal_path
+    else
+      (* the crash predated the log's creation: the snapshot alone is
+         the state *)
+      Wal.create ~fs ~next_seq:(recovered_seq + 1) wal_path
+  in
+  t.dur <- Some { dir; dfs = fs; wal; broken = None };
+  ( t,
+    {
+      r_snapshot_rows = snapshot_rows;
+      r_snapshot_seq = last;
+      r_replayed = List.length applied;
+      r_skipped = List.length skipped;
+      r_recovered_seq = recovered_seq;
+      r_torn = rep.Wal.torn;
+      r_dropped_bytes = rep.Wal.dropped_bytes;
+    } )
+
+let data_dir t = Option.map (fun d -> d.dir) t.dur
+
+let pp_recovery fmt r =
+  Format.fprintf fmt
+    "snapshot: %d rows through record %d; wal: %d replayed as pending, %d \
+     already snapshotted, recovered through record %d%s"
+    r.r_snapshot_rows r.r_snapshot_seq r.r_replayed r.r_skipped
+    r.r_recovered_seq
+    (match r.r_torn with
+    | None -> ""
+    | Some why ->
+        Printf.sprintf "; dropped %d-byte torn tail (%s)" r.r_dropped_bytes why)
 
 let stats t =
   Serve_lock.with_lock t.lock (fun () ->

@@ -42,7 +42,22 @@
     persistent domain pool (sequential on an OCaml 4.14 build — same
     answers, no overlap).  Shared mutable state (plan cache, counters,
     working store) is guarded by one lock; execution — the bulk of a
-    request — runs lock-free against the immutable snapshot. *)
+    request — runs lock-free against the immutable snapshot.
+
+    {2 Durability}
+
+    With a [?data_dir], the server is crash-safe ({!Wal}): every
+    {!append} is captured — the exact rows it shredded — in a
+    checksummed write-ahead log record and fsynced before the append
+    returns, and every {!publish} atomically rewrites the directory's
+    storage snapshot and truncates the log.  {!recover} rebuilds a
+    server from the directory: latest valid snapshot, plus the log
+    suffix replayed as {e pending} appends — pending, because they were
+    never published, so the recovered server answers queries
+    bit-identically to one that never crashed.  A torn log tail (the
+    only artifact a crash can leave, since each record is one [write])
+    is truncated and reported; real corruption raises {!Wal.Corrupt}
+    and the CLI exits with code 8. *)
 
 open Legodb_relational
 open Legodb_xquery
@@ -70,6 +85,9 @@ type stats = {
 val create :
   ?jobs:int ->
   ?params:Legodb_optimizer.Cost.params ->
+  ?clock:(unit -> float) ->
+  ?data_dir:string ->
+  ?fs:Legodb_wire.Wire.fs ->
   Legodb_mapping.Mapping.t ->
   Storage.t ->
   t
@@ -83,8 +101,15 @@ val create :
     (default {!Legodb_optimizer.Cost.default_params}, the paper's
     disk-resident calibration); a purely in-memory server should pass
     weights with cheap seeks so selective requests compile to index
-    probes rather than scans.
-    @raise Invalid_argument if the store is itself a frozen snapshot. *)
+    probes rather than scans.  [?clock] (default [Unix.gettimeofday])
+    times requests and drives {!run_batch}'s deadlines — injectable so
+    timeout tests are deterministic.  [?data_dir] turns durability on:
+    the directory is created if missing, seeded with an initial
+    snapshot of the store, and a fresh write-ahead log is opened
+    ([?fs] is the injectable I/O layer the fault tests crash).
+    @raise Invalid_argument if the store is itself a frozen snapshot,
+    or if [data_dir] already holds a snapshot (that store wants
+    {!recover}, not a fresh server clobbering it). *)
 
 val jobs : t -> int
 
@@ -101,13 +126,19 @@ val query : ?use_cache:bool -> t -> Xq_ast.t -> reply
     @raise Legodb_mapping.Xq_translate.Untranslatable on a request
     outside the supported fragment. *)
 
-val run_batch : t -> Xq_ast.t array -> (reply, string) result array
+val run_batch :
+  ?timeout_ms:int -> t -> Xq_ast.t array -> (reply, string) result array
 (** Answer a batch of requests, overlapped on the domain pool (at most
     {!jobs} at a time), all against the {e same} snapshot — the one
     current when the batch started; a concurrent {!publish} does not
     tear a batch.  Result [i] answers request [i].  A request the
     translator rejects yields [Error message] for its slot — a bad
-    request never takes the server (or its batch) down. *)
+    request never takes the server (or its batch) down.  [?timeout_ms]
+    gives each request its own wall-clock budget (measured by the
+    server's clock from that request's start): a request over budget
+    degrades to an [Error "timeout: ..."] slot at the next plan-block
+    boundary — cooperative, so a block in progress finishes first —
+    while the rest of the batch answers normally. *)
 
 val append : t -> Legodb_xml.Xml.t -> unit
 (** Shred one document into the working store.  Invisible to readers
@@ -123,6 +154,50 @@ val publish : t -> unit
     on next use; plans over untouched tables stay warm. *)
 
 val stats : t -> stats
+
+(** {1 Recovery} *)
+
+type recovery = {
+  r_snapshot_rows : int;  (** rows the snapshot alone restored *)
+  r_snapshot_seq : int;  (** last append the snapshot covers *)
+  r_replayed : int;  (** log records re-applied, as pending appends *)
+  r_skipped : int;
+      (** log records the snapshot already covered (a crash between the
+          snapshot rename and the log truncation leaves them behind;
+          sequence numbers make the skip exact — nothing is ever
+          applied twice) *)
+  r_recovered_seq : int;  (** last append now recovered, durably *)
+  r_torn : string option;
+      (** why the log's tail was dropped, if it was: the signature of a
+          crash mid-record (that append was never acknowledged) *)
+  r_dropped_bytes : int;  (** size of the torn tail, 0 if none *)
+}
+
+val recover :
+  ?jobs:int ->
+  ?params:Legodb_optimizer.Cost.params ->
+  ?clock:(unit -> float) ->
+  ?fs:Legodb_wire.Wire.fs ->
+  ?mapping:Legodb_mapping.Mapping.t ->
+  dir:string ->
+  unit ->
+  t * recovery
+(** Rebuild a server from a data directory: load the snapshot (the
+    p-schema it carries rebuilds the mapping and catalog; pass
+    [?mapping] to override when the original catalog had extras — e.g.
+    secondary indexes {!Legodb_mapping.Mapping.of_pschema} does not
+    derive), replay the log's suffix as pending appends, truncate any
+    torn tail, and reopen the log for appending.  The serving snapshot
+    is the {e published} state — replayed appends stay pending until
+    the next {!publish} — so recovered answers are bit-identical to a
+    never-crashed server's.
+    @raise Wal.Corrupt on a corrupted snapshot or log (CLI exit 8)
+    @raise Sys_error when the directory or snapshot is missing. *)
+
+val data_dir : t -> string option
+(** The directory this server persists to, if durability is on. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit
 
 (** {1 Latency accounting} *)
 

@@ -1,0 +1,278 @@
+module Wire = Legodb_wire.Wire
+module Storage = Legodb_relational.Storage
+module Rtype = Legodb_relational.Rtype
+module Checkpoint = Legodb_search.Checkpoint
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let wrap_corrupt f x = try f x with Wire.Corrupt m -> raise (Corrupt m)
+let snapshot_file dir = Filename.concat dir "snapshot.legodb"
+let wal_file dir = Filename.concat dir "wal.legodb"
+
+(* ------------------------------------------------------------------ *)
+(* records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type record = { seq : int; rows : (string * Storage.row list) list }
+
+(* The payload carries the sequence number, so any bit flip in it —
+   seq included — is a checksum mismatch, never a silently re-sequenced
+   record.  Per table: name, arity (so the reader needs no catalog),
+   rows. *)
+let w_table b ((tname : string), (rows : Storage.row list)) =
+  Wire.w_str b tname;
+  Wire.w_int b (match rows with [] -> 0 | r :: _ -> Array.length r);
+  Wire.w_list b Storage.write_row rows
+
+let r_table cur =
+  let tname = Wire.r_str cur in
+  let arity = Wire.r_int cur in
+  if arity < 0 then Wire.corrupt "malformed payload: negative arity %d" arity;
+  let rows = Wire.r_list cur (fun cur -> Storage.read_row cur ~arity) in
+  (tname, rows)
+
+let encode_payload r =
+  let b = Buffer.create 256 in
+  Wire.w_int b r.seq;
+  Wire.w_list b w_table r.rows;
+  Buffer.contents b
+
+let decode_payload payload =
+  wrap_corrupt
+    (fun payload ->
+      let cur = Wire.cursor payload in
+      let seq = Wire.r_int cur in
+      let rows = Wire.r_list cur r_table in
+      if not (Wire.at_end cur) then
+        Wire.corrupt "malformed payload: %d trailing bytes in WAL record"
+          (String.length payload - cur.Wire.pos);
+      { seq; rows })
+    payload
+
+(* One record on disk: a [R <crc32> <len>] line, [<len>] payload bytes,
+   a ['\n'] terminator.  The whole thing goes to the kernel in a single
+   [write], so the only artifact a crash (or short write) can leave is
+   a strict prefix — exactly what replay classifies as a torn tail. *)
+let encode_record r =
+  let payload = encode_payload r in
+  Printf.sprintf "R %08lx %d\n%s\n" (Wire.crc32 payload)
+    (String.length payload) payload
+
+let record_equal a b =
+  a.seq = b.seq
+  && List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun (ta, ra) (tb, rb) ->
+         String.equal ta tb
+         && List.length ra = List.length rb
+         && List.for_all2
+              (fun (x : Storage.row) (y : Storage.row) ->
+                Array.length x = Array.length y
+                && Array.for_all2
+                     (fun u v ->
+                       match (u, v) with
+                       | Rtype.V_null, Rtype.V_null -> true
+                       | Rtype.V_int m, Rtype.V_int n -> m = n
+                       | Rtype.V_string s, Rtype.V_string t -> String.equal s t
+                       | _ -> false)
+                     x y)
+              ra rb)
+       a.rows b.rows
+
+(* ------------------------------------------------------------------ *)
+(* replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let wal_magic = "LEGODB-WAL"
+let wal_version = 1
+let wal_header = Printf.sprintf "%s %d\n" wal_magic wal_version
+let header_bytes = String.length wal_header
+
+type replay = {
+  records : record list;
+  dropped_bytes : int;
+  torn : string option;
+}
+
+(* A header shorter than expected is only legal as a crash artifact: a
+   strict prefix of the true header (create fsyncs the header before
+   any append is acknowledged, so nothing is lost).  Anything else that
+   differs is corruption. *)
+let check_header s =
+  let n = String.length s in
+  if n >= header_bytes then begin
+    let got = String.sub s 0 header_bytes in
+    if String.equal got wal_header then `Ok
+    else
+      (* distinguish wrong magic from wrong version for the report *)
+      let magic_len = String.length wal_magic in
+      if n >= magic_len && String.equal (String.sub s 0 magic_len) wal_magic
+      then
+        corrupt "unsupported WAL version (this build reads %s)"
+          (String.trim wal_header)
+      else corrupt "bad magic: not a LegoDB WAL"
+  end
+  else if String.equal s (String.sub wal_header 0 n) then `Torn
+  else corrupt "bad magic: not a LegoDB WAL"
+
+let replay_string s =
+  let len = String.length s in
+  match check_header s with
+  | `Torn ->
+      { records = []; dropped_bytes = len; torn = Some "torn WAL header" }
+  | `Ok ->
+      let records = ref [] in
+      let pos = ref header_bytes in
+      let torn = ref None in
+      let dropped = ref 0 in
+      let stop why =
+        torn := Some why;
+        dropped := len - !pos
+      in
+      (try
+         while !pos < len && !torn = None do
+           match String.index_from_opt s !pos '\n' with
+           | None -> stop "torn record header"
+           | Some nl -> (
+               let line = String.sub s !pos (nl - !pos) in
+               (* the line is complete (it has its newline), so a shape
+                  failure is corruption, not a torn write.  Fields are
+                  validated textually — canonical length, exact CRC hex
+                  — so no bit flip survives by parsing to the same
+                  values (hex case, leading zeros) *)
+               match String.split_on_char ' ' line with
+               | [ "R"; crc_hex; len_s ] ->
+                   let plen =
+                     match int_of_string_opt len_s with
+                     | Some n when n >= 0 && String.equal len_s (string_of_int n)
+                       ->
+                         n
+                     | _ -> corrupt "malformed WAL record header %S" line
+                   in
+                   if nl + 1 + plen + 1 > len then stop "torn record payload"
+                   else begin
+                     let payload = String.sub s (nl + 1) plen in
+                     if s.[nl + 1 + plen] <> '\n' then
+                       corrupt
+                         "malformed WAL record: missing terminator after \
+                          payload";
+                     let actual = Printf.sprintf "%08lx" (Wire.crc32 payload) in
+                     if not (String.equal actual crc_hex) then
+                       corrupt
+                         "checksum mismatch: WAL record header says %s, \
+                          payload hashes to %s"
+                         crc_hex actual;
+                     let r = decode_payload payload in
+                     (match !records with
+                     | prev :: _ when r.seq <> prev.seq + 1 ->
+                         corrupt
+                           "non-contiguous WAL: record %d follows record %d"
+                           r.seq prev.seq
+                     | _ -> ());
+                     records := r :: !records;
+                     pos := nl + 1 + plen + 1
+                   end
+               | _ -> corrupt "malformed WAL record header %S" line)
+         done
+       with Wire.Corrupt m -> raise (Corrupt m));
+      { records = List.rev !records; dropped_bytes = !dropped; torn = !torn }
+
+let replay_file path =
+  if Sys.file_exists path then replay_string (Wire.read_file path)
+  else { records = []; dropped_bytes = 0; torn = None }
+
+(* ------------------------------------------------------------------ *)
+(* the log handle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  fd : Unix.file_descr;
+  fs : Wire.fs;
+  mutable next : int;  (* sequence number of the next append *)
+}
+
+let create ?(fs = Wire.real_fs) ~next_seq path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  fs.Wire.write fd wal_header;
+  fs.Wire.fsync fd;
+  { fd; fs; next = next_seq }
+
+let reopen ?(fs = Wire.real_fs) ~valid_bytes ~next_seq path =
+  (* a tail so torn even the header is incomplete is rewritten whole *)
+  if valid_bytes < header_bytes then create ~fs ~next_seq path
+  else begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd valid_bytes;
+    fs.Wire.fsync fd;
+    ignore (Unix.lseek fd 0 Unix.SEEK_END);
+    { fd; fs; next = next_seq }
+  end
+
+let append t rows =
+  let seq = t.next in
+  let image = encode_record { seq; rows } in
+  t.fs.Wire.write t.fd image;
+  t.fs.Wire.fsync t.fd;
+  t.next <- seq + 1;
+  seq
+
+let reset t =
+  Unix.ftruncate t.fd header_bytes;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+  t.fs.Wire.fsync t.fd
+
+let next_seq t = t.next
+let close t = Unix.close t.fd
+
+(* ------------------------------------------------------------------ *)
+(* snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snap_magic = "LEGODB-SNAP"
+let snap_version = 1
+
+let write_snapshot ?fs ~path ~schema ~ordered ~last_seq db =
+  let b = Buffer.create 4096 in
+  Wire.w_int b last_seq;
+  Wire.w_line b (if ordered then "o" else "-");
+  Checkpoint.write_schema b schema;
+  Storage.write_rows b db;
+  Wire.write_atomic ?fs ~path
+    (Wire.frame ~magic:snap_magic ~version:snap_version (Buffer.contents b))
+
+type snapshot = {
+  s_schema : Legodb_xtype.Xschema.t;
+  s_ordered : bool;
+  s_last_seq : int;
+  s_fill : Storage.t -> unit;
+}
+
+let load_snapshot path =
+  wrap_corrupt
+    (fun path ->
+      let body =
+        Wire.unframe ~magic:snap_magic ~version:snap_version
+          ~kind:"storage snapshot" (Wire.read_file path)
+      in
+      let cur = Wire.cursor body in
+      let s_last_seq = Wire.r_int cur in
+      let s_ordered =
+        match Wire.r_line cur with
+        | "o" -> true
+        | "-" -> false
+        | s -> Wire.corrupt "malformed payload: unknown order flag %S" s
+      in
+      let s_schema = Checkpoint.read_schema cur in
+      let s_fill db =
+        wrap_corrupt
+          (fun db ->
+            Storage.read_rows cur db;
+            if not (Wire.at_end cur) then
+              Wire.corrupt
+                "malformed payload: %d trailing bytes in storage snapshot"
+                (String.length cur.Wire.buf - cur.Wire.pos))
+          db
+      in
+      { s_schema; s_ordered; s_last_seq; s_fill })
+    path

@@ -1,0 +1,145 @@
+(** The query server's durability substrate: a write-ahead log of
+    appends plus atomic storage snapshots, in the shared
+    {!Legodb_wire.Wire} format (PR 4's checkpoint codec primitives).
+
+    {2 On-disk layout}
+
+    A server's data directory holds two files:
+
+    - [snapshot.legodb] — a framed image ([LEGODB-SNAP] header with
+      version, CRC-32, and payload length) of the {e published} store:
+      the p-schema the mapping derives from, the sequence number of the
+      last append it covers, and every table's rows
+      ({!Legodb_relational.Storage.write_rows}).  Written atomically
+      and durably ({!Legodb_wire.Wire.write_atomic}) at every
+      {!Serve.publish} barrier, so the file is always a complete,
+      checksummed image of some published state.
+    - [wal.legodb] — a header line [LEGODB-WAL 1] followed by one
+      record per {!Serve.append}: a [R <crc32> <len>] line and a
+      checksummed payload carrying the record's sequence number and
+      the shredded rows per table.  Each record is written with a
+      single [write] and fsynced before the append is acknowledged;
+      the log is truncated back to its header after each successful
+      snapshot.
+
+    {2 Failure semantics}
+
+    Sequence numbers tie the two files together: replay applies
+    exactly the records newer than the snapshot, so a crash {e
+    between} the snapshot rename and the log truncation (when the log
+    still holds already-snapshotted records) never double-applies.
+
+    A record that simply stops early — torn header line, payload
+    shorter than its declared length, missing terminator — is the
+    signature of a crash mid-write: {!replay_string} drops it (and
+    everything after it, though by construction a torn record is the
+    tail) and reports the truncation, because the append it belonged
+    to was never acknowledged.  Everything else — bad magic, wrong
+    version, a checksum mismatch on a structurally complete record,
+    non-contiguous sequence numbers — is real corruption: {!Corrupt}
+    is raised, the CLI maps it to exit code 8, and recovery refuses to
+    serve rather than guess. *)
+
+open Legodb_xtype
+open Legodb_relational
+
+exception Corrupt of string
+(** The snapshot or WAL is not usable: truncated (where truncation is
+    not a legal crash artifact), bit-flipped (checksum mismatch), wrong
+    version, or wrong magic — each reported distinctly, one line.  The
+    CLI maps this to exit code 8 (the checkpoint's exit-7 convention,
+    one code later). *)
+
+val snapshot_file : string -> string
+(** [snapshot_file dir] — the snapshot's path under a data directory. *)
+
+val wal_file : string -> string
+(** [wal_file dir] — the log's path under a data directory. *)
+
+(** {1 Records} *)
+
+type record = {
+  seq : int;  (** 1-based, contiguous, monotone across publishes *)
+  rows : (string * Storage.row list) list;
+      (** the shredded rows one append added, per table (tables the
+          append left untouched are absent), in insertion order *)
+}
+
+val encode_record : record -> string
+(** The record's full on-disk bytes: header line + checksummed
+    payload + terminator. *)
+
+val record_equal : record -> record -> bool
+(** Structural equality, value bit-patterns included (the codec
+    round-trip property). *)
+
+type replay = {
+  records : record list;  (** complete, checksummed records, in order *)
+  dropped_bytes : int;  (** bytes of torn tail discarded, 0 if none *)
+  torn : string option;
+      (** why the tail was dropped ([None] when the log ended cleanly) *)
+}
+
+val replay_string : string -> replay
+(** Parse a whole WAL image (header included).  Torn tails are
+    reported, not raised; everything else raises {!Corrupt}. *)
+
+val replay_file : string -> replay
+(** {!replay_string} of the file's bytes.  A missing file replays as
+    empty (a crash can predate the first append). *)
+
+(** {1 The log handle} *)
+
+type t
+
+val create : ?fs:Legodb_wire.Wire.fs -> next_seq:int -> string -> t
+(** Create (or truncate) the log at a path: write the header, fsync.
+    The next {!append} gets sequence number [next_seq]. *)
+
+val reopen :
+  ?fs:Legodb_wire.Wire.fs -> valid_bytes:int -> next_seq:int -> string -> t
+(** Open an existing log for appending after recovery, first truncating
+    it to [valid_bytes] (cutting a torn tail off), so the log on disk
+    is exactly its replayable prefix again. *)
+
+val append : t -> (string * Storage.row list) list -> int
+(** Write one record (a single [write] of the framed bytes) and fsync;
+    returns the record's sequence number.  If the write or fsync
+    raises, the record may be torn on disk — the caller must treat the
+    append as failed (it is exactly what replay truncates). *)
+
+val reset : t -> unit
+(** Truncate back to the header and fsync — the post-snapshot log
+    reset.  Sequence numbers are {e not} reset; they stay monotone so
+    replay can tell pre- from post-snapshot records. *)
+
+val next_seq : t -> int
+val close : t -> unit
+
+(** {1 Snapshots} *)
+
+val write_snapshot :
+  ?fs:Legodb_wire.Wire.fs ->
+  path:string ->
+  schema:Xschema.t ->
+  ordered:bool ->
+  last_seq:int ->
+  Storage.t ->
+  unit
+(** Dump a (frozen) store durably and atomically: schema, mapping
+    order-columns flag, the last append sequence the dump covers, and
+    every table's rows. *)
+
+type snapshot = {
+  s_schema : Xschema.t;  (** the p-schema the catalog derives from *)
+  s_ordered : bool;  (** the mapping's [order_columns] flag *)
+  s_last_seq : int;  (** WAL records [<= s_last_seq] are already in *)
+  s_fill : Storage.t -> unit;
+      (** insert the dump's rows into a fresh store for the same
+          catalog; raises {!Corrupt} on any mismatch *)
+}
+
+val load_snapshot : string -> snapshot
+(** Validate (magic, version, length, CRC — before any decoding) and
+    decode the header fields; rows are decoded lazily by [s_fill].
+    @raise Corrupt *)

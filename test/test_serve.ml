@@ -111,6 +111,32 @@ let suite =
         match Serve.create m (Serve.snapshot s) with
         | _ -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());
+    case "per-request timeout degrades to an Error slot" (fun () ->
+        let _, m, db = setup () in
+        (* an injected clock that leaps 10s per reading: every request
+           blows any small budget at its first block boundary *)
+        let now = ref 0. in
+        let clock () =
+          now := !now +. 10.;
+          !now
+        in
+        let s = Serve.create ~jobs:1 ~clock m db in
+        let replies =
+          Serve.run_batch ~timeout_ms:5 s [| q_titles; q_actors |]
+        in
+        Array.iter
+          (function
+            | Error e -> check_bool "names timeout" true (contains e "timeout")
+            | Ok _ -> Alcotest.fail "expected a timeout")
+          replies;
+        (* a generous budget answers normally on the same server *)
+        (match (Serve.run_batch ~timeout_ms:1_000_000 s [| q_titles |]).(0) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected error: %s" e);
+        (* no budget at all: unchanged behavior *)
+        match (Serve.run_batch s [| q_titles |]).(0) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "unexpected error: %s" e);
     case "summarize percentiles (nearest rank)" (fun () ->
         let lat = Array.init 100 (fun i -> float_of_int (i + 1) /. 1000.) in
         let s = Serve.summarize ~wall_s:0.5 lat in
