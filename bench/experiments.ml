@@ -1219,16 +1219,18 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
   let n_req = if smoke then 120 else 2000 in
   let rng = Random.State.make [| 20260808 |] in
   let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let req_texts =
+    Array.init n_req (fun _ ->
+        match Random.State.int rng 4 with
+        | 0 -> t_year (pick years)
+        | 1 -> t_name (pick names)
+        | 2 -> t_join (pick names)
+        | _ -> t_title (pick titles))
+  in
   let reqs =
-    Array.init n_req (fun i ->
-        let text =
-          match Random.State.int rng 4 with
-          | 0 -> t_year (pick years)
-          | 1 -> t_name (pick names)
-          | 2 -> t_join (pick names)
-          | _ -> t_title (pick titles)
-        in
-        Xq_parse.parse ~name:(Printf.sprintf "req%d" i) text)
+    Array.mapi
+      (fun i text -> Xq_parse.parse ~name:(Printf.sprintf "req%d" i) text)
+      req_texts
   in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "[";
@@ -1252,19 +1254,34 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
       s.Serve.p99_ms;
     s
   in
-  let batch srv label =
-    let replies, wall_s = time (fun () -> Serve.run_batch srv reqs) in
-    let latencies =
-      Array.map
-        (function
-          | Ok (r : Serve.reply) -> r.Serve.latency_s
-          | Error e -> failwith ("serve_perf: " ^ e))
-        replies
+  let batch ?(rounds = 1) srv label =
+    (* a 2000-request batch is ~30ms of wall time, so gated passes run
+       a few rounds and keep the fastest — the measurement least
+       disturbed by whatever else the machine was doing *)
+    let run () =
+      let replies, wall_s = time (fun () -> Serve.run_batch srv reqs) in
+      let latencies =
+        Array.map
+          (function
+            | Ok (r : Serve.reply) -> r.Serve.latency_s
+            | Error e -> failwith ("serve_perf: " ^ e))
+          replies
+      in
+      (wall_s, latencies)
     in
-    summary_of label wall_s latencies
+    let best =
+      List.fold_left
+        (fun (bw, bl) _ ->
+          let w, l = run () in
+          if w < bw then (w, l) else (bw, bl))
+        (run ())
+        (List.init (rounds - 1) Fun.id)
+    in
+    summary_of label (fst best) (snd best)
   in
+  let gate_rounds = if smoke then 1 else 3 in
   let cold = batch server "cold" in
-  let warm = batch server "warm" in
+  let warm = batch ~rounds:gate_rounds server "warm" in
   let stats_after = Serve.stats server in
   Printf.printf "%s\n%!"
     (Format.asprintf "%a" Serve.pp_stats stats_after);
@@ -1374,12 +1391,17 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
   Printf.printf "standing store: %s (initial snapshot %.2fs)\n%!" dur_dir
     t_attach;
   let _wal_cold = batch dur "wal-cold" in
-  let wal_warm = batch dur "wal-warm" in
-  if (not smoke) && wal_warm.Serve.qps < 0.85 *. warm.Serve.qps then
+  let wal_warm = batch ~rounds:gate_rounds dur "wal-warm" in
+  (* re-measure the WAL-off server adjacent in time: the "warm" pass
+     above ran seconds ago under a smaller heap, and comparing across
+     that drift fails the gate on days the machine is busy even though
+     the read paths are identical *)
+  let warm_ref = batch ~rounds:gate_rounds server "warm-ref" in
+  if (not smoke) && wal_warm.Serve.qps < 0.85 *. warm_ref.Serve.qps then
     failwith
       (Printf.sprintf
          "serve_perf: WAL-on warm qps %.0f below 0.85x the WAL-off %.0f"
-         wal_warm.Serve.qps warm.Serve.qps);
+         wal_warm.Serve.qps warm_ref.Serve.qps);
   let extra_docs =
     Array.init 4 (fun i ->
         Imdb.Gen.generate { (Imdb.Gen.scaled 0.002) with Imdb.Gen.seed = 200 + i })
@@ -1429,14 +1451,224 @@ let serve_perf ?(jobs = 1) ?(smoke = false) () =
      %.4f, \"snapshot_rows\": %d, \"snapshot_seq\": %d, \"replayed\": %d, \
      \"skipped\": %d, \"recovered_seq\": %d, \"dropped_bytes\": %d, \
      \"torn\": %s}"
-    wal_warm.Serve.qps warm.Serve.qps
-    (wal_warm.Serve.qps /. warm.Serve.qps)
+    wal_warm.Serve.qps warm_ref.Serve.qps
+    (wal_warm.Serve.qps /. warm_ref.Serve.qps)
     t_attach t_dur_append t_dur_publish t_recover rinfo.Serve.r_snapshot_rows
     rinfo.Serve.r_snapshot_seq rinfo.Serve.r_replayed rinfo.Serve.r_skipped
     rinfo.Serve.r_recovered_seq rinfo.Serve.r_dropped_bytes
     (match rinfo.Serve.r_torn with
     | None -> "null"
     | Some w -> Printf.sprintf "\"%s\"" (String.escaped w));
+  (* ------------------------------------------------------------------
+     network pass: the warm workload again, but through the TCP front
+     door — queries travel as source text, get parsed and batched
+     server-side, and the sampled answers must be bit-identical to the
+     in-process path (compared after the server thread is joined, so
+     the two paths never overlap). *)
+  print_endline "\nnetwork (TCP front door):";
+  let run_netserver ?group_commit_ms srv f =
+    let stop = ref false in
+    let port_cell = ref None in
+    let th =
+      Thread.create
+        (fun () ->
+          Net.serve ?group_commit_ms ~stop
+            ~on_listen:(fun p -> port_cell := Some p)
+            ~port:0 srv)
+        ()
+    in
+    let rec await n =
+      match !port_cell with
+      | Some p -> p
+      | None ->
+          if n > 500 then failwith "serve_perf: server never listened"
+          else begin
+            Thread.delay 0.01;
+            await (n + 1)
+          end
+    in
+    let r = f (await 0) in
+    stop := true;
+    Thread.join th;
+    r
+  in
+  let net_lat = Array.make n_req 0. in
+  let net_rows = Array.make n_sample [] in
+  let net_wall =
+    run_netserver server (fun port ->
+        let c = Net.connect ~port () in
+        let t0 = Unix.gettimeofday () in
+        Array.iteri
+          (fun i text ->
+            let t1 = Unix.gettimeofday () in
+            (match Net.rpc c (Net.Query text) with
+            | Net.Rows { rows; _ } ->
+                if i < n_sample then net_rows.(i) <- rows
+            | Net.Error_reply e -> failwith ("serve_perf: network: " ^ e)
+            | _ -> failwith "serve_perf: unexpected network response");
+            net_lat.(i) <- Unix.gettimeofday () -. t1)
+          req_texts;
+        let wall = Unix.gettimeofday () -. t0 in
+        Net.close c;
+        wall)
+  in
+  let net = summary_of "net-warm" net_wall net_lat in
+  Array.iteri
+    (fun i rows ->
+      if (Serve.query server reqs.(i)).Serve.rows <> rows then
+        failwith
+          (Printf.sprintf
+             "serve_perf: network answer %d differs from the in-process path"
+             i))
+    net_rows;
+  Printf.printf
+    "differential: %d network answers bit-identical to the in-process path\n%!"
+    n_sample;
+  emit
+    "{\"kind\": \"network\", \"requests\": %d, \"qps\": %.1f, \"p99_ms\": \
+     %.4f, \"sampled_identical\": %d}"
+    n_req net.Serve.qps net.Serve.p99_ms n_sample;
+  (* ------------------------------------------------------------------
+     group commit: append throughput on the recovered WAL-on server.
+     The k=1 pass is the PR 8 discipline (one fsync per append); the
+     grouped passes stage k appends per flush.  What group commit buys
+     is fsyncs/append, so the gate reads exactly that counter. *)
+  print_endline "\ngroup commit (append path, WAL on):";
+  (* a tiny document (~10 rows, ~1KB of XML): shredding it costs well
+     under one fsync, so the sweep measures the commit discipline, not
+     the shredder *)
+  let tiny =
+    Imdb.Gen.generate { (Imdb.Gen.scaled 0.00001) with Imdb.Gen.seed = 1234 }
+  in
+  let n_app = if smoke then 16 else 128 in
+  (* each round is only tens of milliseconds of wall time, so one slow
+     fsync (the disk is shared) can swing a single measurement by 30%;
+     run a few rounds and report the best, which is the run least
+     disturbed by the machine rather than the commit discipline *)
+  let rounds = if smoke then 1 else 5 in
+  let sweep k =
+    let s0 = Serve.stats recovered in
+    let commits = ref [] in
+    let one_round () =
+      let (), wall =
+        time (fun () ->
+            let rec go left =
+              if left > 0 then begin
+                let chunk = min k left in
+                let (), t_commit =
+                  time (fun () ->
+                      if chunk = 1 then Serve.append recovered tiny
+                      else
+                        List.iter
+                          (function
+                            | Ok () -> ()
+                            | Error e -> failwith ("serve_perf: " ^ e))
+                          (Serve.append_group recovered
+                             (List.init chunk (fun _ -> tiny))))
+                in
+                commits := t_commit :: !commits;
+                go (left - chunk)
+              end
+            in
+            go n_app)
+      in
+      wall
+    in
+    let wall =
+      List.fold_left
+        (fun best _ -> min best (one_round ()))
+        (one_round ())
+        (List.init (rounds - 1) Fun.id)
+    in
+    let s1 = Serve.stats recovered in
+    let appends = s1.Serve.wal_appends - s0.Serve.wal_appends in
+    let fsyncs = s1.Serve.wal_fsyncs - s0.Serve.wal_fsyncs in
+    let qps = float_of_int n_app /. wall in
+    let ratio = float_of_int fsyncs /. float_of_int appends in
+    let p99_commit_ms =
+      let a = Array.of_list !commits in
+      Array.sort compare a;
+      1000. *. a.(Array.length a - 1 - (Array.length a / 100))
+    in
+    Printf.printf
+      "group=%-3d %d appends (best of %d) in %.3fs: %7.0f appends/s, %.3f \
+       fsyncs/append, p99 commit %.2fms\n\
+       %!"
+      k n_app rounds wall qps ratio p99_commit_ms;
+    emit
+      "{\"kind\": \"group_commit\", \"group\": %d, \"appends\": %d, \
+       \"rounds\": %d, \"wall_s\": %.4f, \"append_qps\": %.1f, \
+       \"fsyncs_per_append\": %.4f, \"p99_commit_ms\": %.4f}"
+      k n_app rounds wall qps ratio p99_commit_ms;
+    (qps, ratio)
+  in
+  let base_qps, base_ratio = sweep 1 in
+  let grouped = List.map (fun k -> (k, sweep k)) [ 2; 4; 8; 16 ] in
+  if not smoke then begin
+    if base_ratio < 0.999 then
+      failwith "serve_perf: fsync-per-append baseline ratio below 1.0";
+    List.iter
+      (fun (k, (qps, ratio)) ->
+        if k >= 8 then begin
+          if qps < 1.5 *. base_qps then
+            failwith
+              (Printf.sprintf
+                 "serve_perf: group=%d append qps %.0f below 1.5x the \
+                  fsync-per-append baseline %.0f"
+                 k qps base_qps);
+          if ratio >= 0.25 then
+            failwith
+              (Printf.sprintf
+                 "serve_perf: group=%d fsyncs/append %.3f not below 0.25" k
+                 ratio)
+        end)
+      grouped
+  end;
+  (* the same append path through the network front door: pipelined
+     appends share commit groups bounded by --group-commit-ms *)
+  List.iter
+    (fun gc_ms ->
+      let s0 = Serve.stats recovered in
+      let sends = Array.make n_app 0. in
+      let acks = Array.make n_app 0. in
+      let text = Xml.to_string tiny in
+      let wall =
+        run_netserver ~group_commit_ms:gc_ms recovered (fun port ->
+            let c = Net.connect ~port () in
+            let t0 = Unix.gettimeofday () in
+            for i = 0 to n_app - 1 do
+              sends.(i) <- Unix.gettimeofday ();
+              Net.send c (Net.Append text)
+            done;
+            for i = 0 to n_app - 1 do
+              (match Net.recv c with
+              | Net.Acked -> ()
+              | Net.Error_reply e -> failwith ("serve_perf: network: " ^ e)
+              | _ -> failwith "serve_perf: unexpected append response");
+              acks.(i) <- Unix.gettimeofday ()
+            done;
+            let wall = Unix.gettimeofday () -. t0 in
+            Net.close c;
+            wall)
+      in
+      let s1 = Serve.stats recovered in
+      let appends = s1.Serve.wal_appends - s0.Serve.wal_appends in
+      let fsyncs = s1.Serve.wal_fsyncs - s0.Serve.wal_fsyncs in
+      let ratio = float_of_int fsyncs /. float_of_int appends in
+      let qps = float_of_int n_app /. wall in
+      let lat = Array.init n_app (fun i -> acks.(i) -. sends.(i)) in
+      let s = Serve.summarize ~wall_s:wall lat in
+      Printf.printf
+        "net gc=%-2dms %d pipelined appends: %7.0f appends/s, %.3f \
+         fsyncs/append, ack p99 %.2fms\n\
+         %!"
+        gc_ms n_app qps ratio s.Serve.p99_ms;
+      emit
+        "{\"kind\": \"group_commit_net\", \"group_commit_ms\": %d, \
+         \"appends\": %d, \"append_qps\": %.1f, \"fsyncs_per_append\": %.4f, \
+         \"ack_p99_ms\": %.4f}"
+        gc_ms n_app qps ratio s.Serve.p99_ms)
+    [ 0; 5; 20 ];
   (* the recovered server is disposable: drop its files *)
   Array.iter
     (fun f -> Sys.remove (Filename.concat dur_dir f))

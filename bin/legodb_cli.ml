@@ -328,8 +328,33 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
+  let listen =
+    let doc =
+      "Serve over TCP on 127.0.0.1:$(docv) (0 = an ephemeral port, printed \
+       on startup) instead of replaying the workload in-process.  Runs \
+       until SIGINT; connect with $(b,legodb query --connect)."
+    in
+    Arg.(value & opt (some int) None & info [ "listen" ] ~docv:"PORT" ~doc)
+  in
+  let group_commit_ms =
+    let doc =
+      "Group commit window: an append waits up to $(docv) milliseconds for \
+       company before its group's single fsync acknowledges them all (0 \
+       still groups appends arriving in the same server loop round)."
+    in
+    Arg.(value & opt int 5 & info [ "group-commit-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_group =
+    let doc = "Commit an append group once it holds $(docv) appends." in
+    Arg.(value & opt int 64 & info [ "max-group" ] ~docv:"N" ~doc)
+  in
   let run schema_name config workload scale seed served_doc requests jobs
-      data_dir appends publish_every crash_after timeout_ms =
+      data_dir appends publish_every crash_after timeout_ms listen
+      group_commit_ms max_group =
+    if group_commit_ms < 0 then
+      fail "--group-commit-ms must be >= 0 (got %d)" group_commit_ms
+    else if max_group < 1 then fail "--max-group must be >= 1 (got %d)" max_group
+    else
     let server =
       match data_dir with
       | Some dir when Sys.file_exists (Wal.snapshot_file dir) ->
@@ -356,9 +381,30 @@ let serve_cmd =
                   | Ok m ->
                       Ok (Serve.create ~jobs ?data_dir m (Shred.shred m doc)))))
     in
-    match (server, load_workload workload) with
-    | Error m, _ | _, Error m -> fail "%s" m
-    | Ok server, Ok w ->
+    match server with
+    | Error m -> fail "%s" m
+    | Ok server when listen <> None ->
+        (* network mode: requests come from the wire, not the workload
+           replay.  SIGINT stops the loop; stats print on the way out. *)
+        let port = Option.get listen in
+        Format.printf "%a@." Storage.pp_summary (Serve.snapshot server);
+        let stop = ref false in
+        let previous =
+          Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+        in
+        Fun.protect
+          ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+          (fun () ->
+            Net.serve ~group_commit_ms ~max_group ?timeout_ms ~stop
+              ~on_listen:(fun p ->
+                Format.printf "listening on 127.0.0.1:%d@." p)
+              ~port server);
+        Format.printf "%a@." Serve.pp_stats (Serve.stats server);
+        `Ok ()
+    | Ok server -> (
+        match load_workload workload with
+        | Error m -> fail "%s" m
+        | Ok w ->
         Format.printf "%a@." Storage.pp_summary (Serve.snapshot server);
         let qs = Array.of_list (List.map fst w) in
         let reqs =
@@ -401,20 +447,185 @@ let serve_cmd =
         Format.printf "%a@." Serve.pp_stats (Serve.stats server);
         if errs = Array.length reqs then
           fail "no workload query is answerable under this configuration"
-        else `Ok ()
+        else `Ok ())
   in
   let term =
     Term.(
       ret
         (const run $ schema_arg $ config_arg $ workload_arg $ scale $ seed
        $ served_doc $ requests $ jobs $ data_dir $ appends $ publish_every
-       $ crash_after $ timeout_ms))
+       $ crash_after $ timeout_ms $ listen $ group_commit_ms $ max_group))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Shred a corpus and answer workload queries concurrently over a \
           frozen snapshot")
+    term
+
+(* ---------------- query (network client) ---------------- *)
+
+let query_cmd =
+  let connect =
+    let doc = "Server endpoint, as printed by $(b,legodb serve --listen)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Round-trip a ping frame first.")
+  in
+  let appends =
+    let doc =
+      "Pipeline $(docv) appends of small generated IMDB documents (all \
+       frames sent before any ack is awaited, so they share commit groups)."
+    in
+    Arg.(value & opt int 0 & info [ "appends" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+  in
+  let do_publish =
+    Arg.(
+      value & flag
+      & info [ "publish" ] ~doc:"Request a publish barrier after the appends.")
+  in
+  let requests =
+    let doc = "Replay the workload's queries round-robin as $(docv) requests." in
+    Arg.(value & opt int 0 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let server_stats =
+    Arg.(
+      value & flag
+      & info [ "server-stats" ] ~doc:"Print the server's counters at the end.")
+  in
+  let corrupt_probe =
+    let doc =
+      "Protocol check: send a deliberately bit-flipped request frame and \
+       report whether the server answers with a structured error and closes \
+       this connection cleanly (it must keep serving others)."
+    in
+    Arg.(value & flag & info [ "corrupt-probe" ] ~doc)
+  in
+  let query_text =
+    let doc = "One XQuery request to send; its rows print to stdout." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let pp_row fmt row =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " | ")
+      Rtype.pp_value fmt row
+  in
+  let run connect_s workload ping appends seed do_publish requests
+      server_stats corrupt_probe query_text =
+    match Net.parse_endpoint connect_s with
+    | Error m -> fail "%s" m
+    | Ok (host, port) -> (
+        if corrupt_probe then begin
+          (* a framing error costs the connection, so the probe gets a
+             connection of its own *)
+          let c = Net.connect ~host ~port () in
+          let frame =
+            Bytes.of_string
+              (Net.encode_request (Net.Query "FOR $v in imdb/show RETURN $v"))
+          in
+          let i = Bytes.length frame - 1 in
+          Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor 0x01));
+          Net.send_raw c (Bytes.to_string frame);
+          (match Net.recv c with
+          | Net.Error_reply m -> Format.printf "corrupt probe: rejected (%s)@." m
+          | _ -> Format.printf "corrupt probe: UNEXPECTED non-error reply@.");
+          (match Net.recv c with
+          | exception Net.Closed ->
+              Format.printf "corrupt probe: connection closed cleanly@."
+          | exception Net.Protocol_error _ ->
+              Format.printf "corrupt probe: connection dropped@."
+          | _ -> Format.printf "corrupt probe: UNEXPECTED second reply@.");
+          Net.close c
+        end;
+        let c = Net.connect ~host ~port () in
+        Fun.protect ~finally:(fun () -> Net.close c) @@ fun () ->
+        let describe = function
+          | Net.Rows { rows; cached } ->
+              Printf.sprintf "%d rows%s" (List.length rows)
+                (if cached then " (cached)" else "")
+          | Net.Acked -> "acked"
+          | Net.Published -> "published"
+          | Net.Stats_reply _ -> "stats"
+          | Net.Pong -> "pong"
+          | Net.Error_reply m -> Printf.sprintf "error: %s" m
+        in
+        if ping then Format.printf "ping: %s@." (describe (Net.rpc c Net.Ping));
+        if appends > 0 then begin
+          for i = 1 to appends do
+            let p = { (Imdb.Gen.scaled 0.002) with Imdb.Gen.seed = seed + i } in
+            Net.send c (Net.Append (Xml.to_string (Imdb.Gen.generate p)))
+          done;
+          let acked = ref 0 in
+          for _ = 1 to appends do
+            match Net.recv c with
+            | Net.Acked -> incr acked
+            | r -> Format.eprintf "append: %s@." (describe r)
+          done;
+          Format.printf "acked %d/%d appends@." !acked appends
+        end;
+        if do_publish then
+          Format.printf "publish: %s@." (describe (Net.rpc c Net.Publish));
+        let failed = ref false in
+        (match query_text with
+        | None -> ()
+        | Some text -> (
+            match Net.rpc c (Net.Query text) with
+            | Net.Rows { rows; cached } ->
+                List.iter (fun row -> Format.printf "%a@." pp_row row) rows;
+                Format.eprintf "%d rows%s@." (List.length rows)
+                  (if cached then " (cached)" else "")
+            | r ->
+                failed := true;
+                Format.eprintf "query: %s@." (describe r)));
+        (if requests > 0 then
+           match load_workload workload with
+           | Error m -> Format.eprintf "workload: %s@." m
+           | Ok w ->
+               let texts =
+                 Array.of_list
+                   (List.map
+                      (fun ((q : Xq_ast.t), _) ->
+                        Format.asprintf "%a" Xq_ast.pp q)
+                      w)
+               in
+               let latencies = Array.make requests 0. in
+               let errs = ref 0 in
+               let t0 = Unix.gettimeofday () in
+               for i = 0 to requests - 1 do
+                 let q0 = Unix.gettimeofday () in
+                 (match
+                    Net.rpc c (Net.Query texts.(i mod Array.length texts))
+                  with
+                 | Net.Rows _ -> ()
+                 | _ -> incr errs);
+                 latencies.(i) <- Unix.gettimeofday () -. q0
+               done;
+               let wall_s = Unix.gettimeofday () -. t0 in
+               Format.printf "network: %a%s@." Serve.pp_summary
+                 (Serve.summarize ~wall_s latencies)
+                 (if !errs > 0 then Printf.sprintf " (%d errors)" !errs else ""));
+        (if server_stats then
+           match Net.rpc c Net.Stats with
+           | Net.Stats_reply s -> Format.printf "%a@." Serve.pp_stats s
+           | r -> Format.eprintf "stats: %s@." (describe r));
+        if !failed then fail "the query was not answered" else `Ok ())
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ connect $ workload_arg $ ping $ appends $ seed
+       $ do_publish $ requests $ server_stats $ corrupt_probe $ query_text))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Talk to a running legodb serve --listen over TCP")
     term
 
 (* ---------------- sql ---------------- *)
@@ -611,8 +822,12 @@ let transforms_cmd =
      8  corrupt store (serve --data-dir found a snapshot or WAL that is
         bit-flipped, truncated mid-file, wrong-version, or
         wrong-magic; recovery refuses to serve rather than guess)
+     9  network/system failure (port already bound, connection refused,
+        peer broke the frame protocol)
    130  interrupted (SIGINT; the best-so-far design is still printed,
-        and with --checkpoint a final snapshot is written first) *)
+        and with --checkpoint a final snapshot is written first)
+   Flag-validation failures (--group-commit-ms < 0, malformed
+   --connect, ...) are cmdliner one-liners with its usual code 124. *)
 let () =
   let info =
     Cmd.info "legodb" ~version:"1.0.0"
@@ -623,6 +838,7 @@ let () =
       [
         design_cmd;
         serve_cmd;
+        query_cmd;
         sql_cmd;
         shred_cmd;
         publish_cmd;
@@ -659,6 +875,16 @@ let () =
     | Wal.Corrupt m ->
         oneliner "corrupt store: %s" m;
         8
+    | Net.Protocol_error m ->
+        oneliner "protocol error: %s" m;
+        9
+    | Net.Closed ->
+        oneliner "connection closed by server";
+        9
+    | Unix.Unix_error (e, fn, arg) ->
+        oneliner "network/system error: %s (%s %s)" (Unix.error_message e) fn
+          arg;
+        9
     | Sys_error m ->
         oneliner "%s" m;
         2)

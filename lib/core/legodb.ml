@@ -45,6 +45,7 @@ module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
 module Wal = Legodb_serve.Wal
+module Net = Legodb_serve.Net
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema

@@ -59,6 +59,7 @@ module Checkpoint = Legodb_search.Checkpoint
 module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
 module Wal = Legodb_serve.Wal
+module Net = Legodb_serve.Net
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig

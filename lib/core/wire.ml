@@ -149,8 +149,11 @@ let unframe ~magic ~version ~kind image =
       corrupt "unsupported %s version %d (this build reads %d)" kind v version
   | None -> corrupt "malformed header: version %S is not a number" v);
   let len =
+    (* canonical decimal only: [int_of_string] also accepts "0x..",
+       "+5", "1_0" — leaving those re-parseable would let a damaged
+       header alias an undamaged one *)
     match int_of_string_opt len with
-    | Some n when n >= 0 -> n
+    | Some n when n >= 0 && String.equal len (string_of_int n) -> n
     | _ -> corrupt "malformed header: payload length %S" len
   in
   if String.length body < len then
@@ -160,9 +163,13 @@ let unframe ~magic ~version ~kind image =
     corrupt "malformed %s: %d bytes beyond the declared payload" kind
       (String.length body - len);
   let expected =
+    (* canonical lowercase %08lx only: hex parsing is case-insensitive,
+       so without this a flipped case bit in a hex digit would still be
+       accepted — and "any single bit flip is rejected" is a contract
+       the protocol fuzz tests hold us to *)
     match Int32.of_string_opt ("0x" ^ crc) with
-    | Some c -> c
-    | None -> corrupt "malformed header: checksum %S is not hex" crc
+    | Some c when String.equal crc (Printf.sprintf "%08lx" c) -> c
+    | _ -> corrupt "malformed header: checksum %S is not canonical hex" crc
   in
   let actual = crc32 body in
   if not (Int32.equal expected actual) then

@@ -1,0 +1,556 @@
+module Wire = Legodb_wire.Wire
+module Rtype = Legodb_relational.Rtype
+module Storage = Legodb_relational.Storage
+module Xml_parse = Legodb_xml.Xml_parse
+module Xq_parse = Legodb_xquery.Xq_parse
+
+(* ------------------------------------------------------------------ *)
+(* messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request =
+  | Query of string
+  | Append of string
+  | Publish
+  | Stats
+  | Ping
+
+type response =
+  | Rows of { rows : Rtype.value list list; cached : bool }
+  | Acked
+  | Published
+  | Stats_reply of Serve.stats
+  | Pong
+  | Error_reply of string
+
+let net_magic = "LEGODB-NET"
+let net_version = 1
+
+(* a frame header is four short tokens; anything longer without a
+   newline is garbage, not a slow sender *)
+let max_header = 128
+
+(* requests carry whole XML documents, so the cap is generous — but it
+   exists: a flipped length byte must not make the server try to
+   buffer gigabytes before the CRC can call it out *)
+let max_payload = 64 * 1024 * 1024
+
+let encode_request r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Query q ->
+      Wire.w_line b "query";
+      Wire.w_str b q
+  | Append x ->
+      Wire.w_line b "append";
+      Wire.w_str b x
+  | Publish -> Wire.w_line b "publish"
+  | Stats -> Wire.w_line b "stats"
+  | Ping -> Wire.w_line b "ping");
+  Wire.frame ~magic:net_magic ~version:net_version (Buffer.contents b)
+
+let decode_request payload =
+  let cur = Wire.cursor payload in
+  let req =
+    match Wire.r_line cur with
+    | "query" -> Query (Wire.r_str cur)
+    | "append" -> Append (Wire.r_str cur)
+    | "publish" -> Publish
+    | "stats" -> Stats
+    | "ping" -> Ping
+    | s -> Wire.corrupt "unknown request tag %S" s
+  in
+  if not (Wire.at_end cur) then
+    Wire.corrupt "malformed payload: %d trailing bytes in request"
+      (String.length payload - cur.Wire.pos);
+  req
+
+let w_row b row = Wire.w_list b Storage.write_value row
+let r_row cur = Wire.r_list cur Storage.read_value
+
+let encode_response r =
+  let b = Buffer.create 256 in
+  (match r with
+  | Rows { rows; cached } ->
+      Wire.w_line b "rows";
+      Wire.w_int b (if cached then 1 else 0);
+      Wire.w_list b w_row rows
+  | Acked -> Wire.w_line b "acked"
+  | Published -> Wire.w_line b "published"
+  | Stats_reply s ->
+      Wire.w_line b "stats";
+      List.iter (Wire.w_int b)
+        [
+          s.Serve.served;
+          s.Serve.cache_hits;
+          s.Serve.cache_misses;
+          s.Serve.snapshot_rows;
+          s.Serve.snapshots_published;
+          s.Serve.pending_appends;
+          s.Serve.wal_appends;
+          s.Serve.wal_fsyncs;
+          s.Serve.wal_groups;
+          s.Serve.wal_max_group;
+        ]
+  | Pong -> Wire.w_line b "pong"
+  | Error_reply m ->
+      Wire.w_line b "error";
+      Wire.w_str b m);
+  Wire.frame ~magic:net_magic ~version:net_version (Buffer.contents b)
+
+let decode_response payload =
+  let cur = Wire.cursor payload in
+  let resp =
+    match Wire.r_line cur with
+    | "rows" ->
+        let cached = Wire.r_int cur <> 0 in
+        let rows = Wire.r_list cur r_row in
+        Rows { rows; cached }
+    | "acked" -> Acked
+    | "published" -> Published
+    | "stats" ->
+        let i () = Wire.r_int cur in
+        let served = i () in
+        let cache_hits = i () in
+        let cache_misses = i () in
+        let snapshot_rows = i () in
+        let snapshots_published = i () in
+        let pending_appends = i () in
+        let wal_appends = i () in
+        let wal_fsyncs = i () in
+        let wal_groups = i () in
+        let wal_max_group = i () in
+        Stats_reply
+          {
+            Serve.served;
+            cache_hits;
+            cache_misses;
+            snapshot_rows;
+            snapshots_published;
+            pending_appends;
+            wal_appends;
+            wal_fsyncs;
+            wal_groups;
+            wal_max_group;
+          }
+    | "pong" -> Pong
+    | "error" -> Error_reply (Wire.r_str cur)
+    | s -> Wire.corrupt "unknown response tag %S" s
+  in
+  if not (Wire.at_end cur) then
+    Wire.corrupt "malformed payload: %d trailing bytes in response"
+      (String.length payload - cur.Wire.pos);
+  resp
+
+(* ------------------------------------------------------------------ *)
+(* stream framing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Pull one frame off the front of a byte stream.  The length field is
+   validated textually (canonical decimal, bounded) before any payload
+   is awaited, so a flipped length digit is caught by the CRC (the
+   frame slice it delimits hashes wrong) or by the bound — never by an
+   unbounded buffer.  [`Partial] means the bytes so far are a legal
+   prefix: keep reading. *)
+let extract data =
+  match String.index_opt data '\n' with
+  | None ->
+      if String.length data > max_header then
+        `Broken "malformed frame: no header line"
+      else `Partial
+  | Some nl -> (
+      let line = String.sub data 0 nl in
+      let broken () =
+        let shown =
+          if String.length line <= 64 then line else String.sub line 0 64
+        in
+        `Broken (Printf.sprintf "malformed frame header %S" shown)
+      in
+      match String.split_on_char ' ' line with
+      | [ m; _v; _crc; len_s ] when String.equal m net_magic -> (
+          match int_of_string_opt len_s with
+          | Some n
+            when n >= 0 && n <= max_payload
+                 && String.equal len_s (string_of_int n) -> (
+              let total = nl + 1 + n in
+              if String.length data < total then `Partial
+              else
+                let image = String.sub data 0 total in
+                match
+                  Wire.unframe ~magic:net_magic ~version:net_version
+                    ~kind:"network frame" image
+                with
+                | payload ->
+                    `Frame
+                      (payload, String.sub data total (String.length data - total))
+                | exception Wire.Corrupt m -> `Broken m)
+          | _ -> broken ())
+      | _ -> broken ())
+
+(* ------------------------------------------------------------------ *)
+(* shared plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* OCaml's Unix has no MSG_NOSIGNAL: a write to a connection the peer
+   already closed raises SIGPIPE, which would kill the process instead
+   of surfacing EPIPE.  Ignore it once, idempotently. *)
+let ignore_sigpipe () =
+  match Sys.os_type with
+  | "Unix" -> (
+      try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+      with Invalid_argument _ -> ())
+  | _ -> ()
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+
+let parse_endpoint s =
+  let malformed () =
+    Error (Printf.sprintf "malformed endpoint %S (expected HOST:PORT)" s)
+  in
+  match String.rindex_opt s ':' with
+  | None -> malformed ()
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      if String.equal host "" then malformed ()
+      else
+        match int_of_string_opt port_s with
+        | Some p when p >= 1 && p <= 65535 -> Ok (host, p)
+        | _ -> malformed ())
+
+(* ------------------------------------------------------------------ *)
+(* server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-connection state.  [q] holds one cell per request, in arrival
+   order; a cell is filled when its request's answer exists (queries at
+   the end of the round's batch, appends at their group's fsync) and
+   responses are encoded strictly from the front of the queue, so a
+   pipelined client can match responses to requests positionally. *)
+type conn = {
+  fd : Unix.file_descr;
+  mutable pend : string;  (* unconsumed request bytes *)
+  mutable out : string;  (* encoded responses awaiting write *)
+  mutable outpos : int;
+  q : response option ref Queue.t;
+  mutable closing : bool;  (* no more input: EOF or framing error *)
+}
+
+let serve ?(host = "127.0.0.1") ?(group_commit_ms = 5) ?(max_group = 64)
+    ?timeout_ms ?stop ?on_listen ~port t =
+  if group_commit_ms < 0 then
+    invalid_arg "Net.serve: group_commit_ms must be >= 0";
+  if max_group < 1 then invalid_arg "Net.serve: max_group must be >= 1";
+  ignore_sigpipe ();
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lfd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+      Unix.bind lfd (Unix.ADDR_INET (resolve host, port));
+      Unix.listen lfd 64;
+      Unix.set_nonblock lfd;
+      let bound =
+        match Unix.getsockname lfd with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      Option.iter (fun f -> f bound) on_listen;
+      let conns = ref [] in
+      let dead = ref [] in
+      let drop c =
+        if not (List.memq c !dead) then begin
+          dead := c :: !dead;
+          (try Unix.close c.fd with Unix.Unix_error _ -> ())
+        end
+      in
+      (* queries collected this loop round, answered by one run_batch *)
+      let queries = ref [] in
+      (* the open append group: parsed documents waiting for their
+         shared fsync, oldest first, with the time the group opened *)
+      let appends = Queue.create () in
+      let group_opened = ref None in
+      let flush_appends () =
+        if not (Queue.is_empty appends) then begin
+          let items = List.of_seq (Queue.to_seq appends) in
+          Queue.clear appends;
+          group_opened := None;
+          match Serve.append_group t (List.map snd items) with
+          | results ->
+              List.iter2
+                (fun (cell, _) res ->
+                  cell :=
+                    Some
+                      (match res with
+                      | Ok () -> Acked
+                      | Error m -> Error_reply m))
+                items results
+          | exception e ->
+              (* WAL write failure: nothing in the group was
+                 acknowledged and the server is fail-stop for writes,
+                 but it keeps answering queries *)
+              let m = Printexc.to_string e in
+              List.iter (fun (cell, _) -> cell := Some (Error_reply m)) items
+        end
+      in
+      let enqueue_cell c =
+        let cell = ref None in
+        Queue.push cell c.q;
+        cell
+      in
+      let handle c req =
+        let cell = enqueue_cell c in
+        match req with
+        | Ping -> cell := Some Pong
+        | Stats -> cell := Some (Stats_reply (Serve.stats t))
+        | Publish -> (
+            (* the publish barrier covers every append acknowledged
+               before it on this connection: commit the open group
+               first so its documents make the snapshot *)
+            flush_appends ();
+            match Serve.publish t with
+            | () -> cell := Some Published
+            | exception e -> cell := Some (Error_reply (Printexc.to_string e)))
+        | Query text -> (
+            match Xq_parse.parse ~name:"net" text with
+            | ast -> queries := (cell, ast) :: !queries
+            | exception Xq_parse.Parse_error { position; message } ->
+                cell :=
+                  Some
+                    (Error_reply
+                       (Printf.sprintf "query parse error at offset %d: %s"
+                          position message)))
+        | Append text -> (
+            match Xml_parse.parse_string text with
+            | doc ->
+                if Queue.is_empty appends then
+                  group_opened := Some (Unix.gettimeofday ());
+                Queue.push (cell, doc) appends;
+                if Queue.length appends >= max_group then flush_appends ()
+            | exception Xml_parse.Parse_error { position; message } ->
+                cell :=
+                  Some
+                    (Error_reply
+                       (Printf.sprintf "XML parse error at offset %d: %s"
+                          position message)))
+      in
+      let protocol_error c m =
+        (* one structured error frame, then the connection is done:
+           after a framing error there is no resynchronization point *)
+        enqueue_cell c := Some (Error_reply m);
+        c.closing <- true
+      in
+      let read_conn c =
+        let buf = Bytes.create 65536 in
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> c.closing <- true
+        | n ->
+            c.pend <- c.pend ^ Bytes.sub_string buf 0 n;
+            let continue = ref true in
+            while !continue && not c.closing do
+              match extract c.pend with
+              | `Partial -> continue := false
+              | `Broken m ->
+                  protocol_error c m;
+                  continue := false
+              | `Frame (payload, rest) -> (
+                  c.pend <- rest;
+                  match decode_request payload with
+                  | req -> handle c req
+                  | exception Wire.Corrupt m -> protocol_error c m)
+            done
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> drop c
+      in
+      (* move the queue's filled prefix into the connection's write
+         buffer — strictly in order, stopping at the first answer
+         still pending *)
+      let drain c =
+        let b = Buffer.create 256 in
+        let continue = ref true in
+        while !continue && not (Queue.is_empty c.q) do
+          match !(Queue.peek c.q) with
+          | Some resp ->
+              ignore (Queue.pop c.q);
+              Buffer.add_string b (encode_response resp)
+          | None -> continue := false
+        done;
+        if Buffer.length b > 0 then begin
+          let rest =
+            String.sub c.out c.outpos (String.length c.out - c.outpos)
+          in
+          c.out <- rest ^ Buffer.contents b;
+          c.outpos <- 0
+        end
+      in
+      let write_conn c =
+        match
+          Unix.write_substring c.fd c.out c.outpos
+            (String.length c.out - c.outpos)
+        with
+        | n ->
+            c.outpos <- c.outpos + n;
+            if c.outpos >= String.length c.out then begin
+              c.out <- "";
+              c.outpos <- 0
+            end
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+            ()
+        | exception Unix.Unix_error _ -> drop c
+      in
+      let stopped () = match stop with Some r -> !r | None -> false in
+      while not (stopped ()) do
+        (* deadline-aware poll: wake for the open group's fsync, and at
+           least every 250ms for the stop flag *)
+        let timeout =
+          match !group_opened with
+          | None -> 0.25
+          | Some t0 ->
+              let d =
+                t0 +. (float_of_int group_commit_ms /. 1000.)
+                -. Unix.gettimeofday ()
+              in
+              Float.max 0. (Float.min 0.25 d)
+        in
+        let readable = List.filter (fun c -> not c.closing) !conns in
+        let writable =
+          List.filter (fun c -> String.length c.out > c.outpos) !conns
+        in
+        let rs, ws, _ =
+          try
+            Unix.select
+              (lfd :: List.map (fun c -> c.fd) readable)
+              (List.map (fun c -> c.fd) writable)
+              [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        if List.memq lfd rs then begin
+          let accepting = ref true in
+          while !accepting do
+            match Unix.accept lfd with
+            | fd, _ ->
+                Unix.set_nonblock fd;
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ());
+                conns :=
+                  {
+                    fd;
+                    pend = "";
+                    out = "";
+                    outpos = 0;
+                    q = Queue.create ();
+                    closing = false;
+                  }
+                  :: !conns
+            | exception
+                Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+                accepting := false
+            | exception Unix.Unix_error _ -> accepting := false
+          done
+        end;
+        List.iter (fun c -> if List.memq c.fd rs then read_conn c) readable;
+        (* answer this round's queries as one batch on the pool *)
+        (match List.rev !queries with
+        | [] -> ()
+        | qs ->
+            queries := [];
+            let arr = Array.of_list (List.map snd qs) in
+            let res = Serve.run_batch ?timeout_ms t arr in
+            List.iteri
+              (fun i (cell, _) ->
+                cell :=
+                  Some
+                    (match res.(i) with
+                    | Ok (r : Serve.reply) ->
+                        Rows { rows = r.Serve.rows; cached = r.Serve.cached }
+                    | Error m -> Error_reply m))
+              qs);
+        (* commit the open group once its oldest member has waited out
+           the window *)
+        (match !group_opened with
+        | Some t0
+          when Unix.gettimeofday ()
+               >= t0 +. (float_of_int group_commit_ms /. 1000.) ->
+            flush_appends ()
+        | _ -> ());
+        List.iter
+          (fun c ->
+            drain c;
+            if String.length c.out > c.outpos && List.memq c.fd ws then
+              write_conn c;
+            (* a closing connection lingers only until its queued
+               responses are answered and written *)
+            if
+              c.closing && Queue.is_empty c.q
+              && String.length c.out <= c.outpos
+            then drop c)
+          !conns;
+        if !dead <> [] then begin
+          conns := List.filter (fun c -> not (List.memq c !dead)) !conns;
+          dead := []
+        end
+      done;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !conns)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type client = { cfd : Unix.file_descr; mutable cpend : string }
+
+exception Protocol_error of string
+exception Closed
+
+let connect ?(host = "127.0.0.1") ~port () =
+  ignore_sigpipe ();
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+     try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ()
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { cfd = fd; cpend = "" }
+
+let rec write_all fd s pos =
+  if pos < String.length s then
+    match Unix.write_substring fd s pos (String.length s - pos) with
+    | n -> write_all fd s (pos + n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s pos
+
+let send c req = write_all c.cfd (encode_request req) 0
+let send_raw c bytes = write_all c.cfd bytes 0
+
+let rec recv c =
+  match extract c.cpend with
+  | `Frame (payload, rest) -> (
+      c.cpend <- rest;
+      match decode_response payload with
+      | resp -> resp
+      | exception Wire.Corrupt m -> raise (Protocol_error m))
+  | `Broken m -> raise (Protocol_error m)
+  | `Partial -> (
+      let buf = Bytes.create 65536 in
+      match Unix.read c.cfd buf 0 (Bytes.length buf) with
+      | 0 ->
+          if String.equal c.cpend "" then raise Closed
+          else raise (Protocol_error "connection closed mid-frame")
+      | n ->
+          c.cpend <- c.cpend ^ Bytes.sub_string buf 0 n;
+          recv c
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> recv c)
+
+let rpc c req =
+  send c req;
+  recv c
+
+let close c = try Unix.close c.cfd with Unix.Unix_error _ -> ()

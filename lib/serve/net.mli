@@ -1,0 +1,153 @@
+(** The query server's network front door: a TCP request/response
+    protocol in the {!Legodb_wire.Wire} frame format, a single-threaded
+    [select] server that batches concurrently-arriving work into
+    {!Serve.run_batch} calls and group-commits appends, and the small
+    blocking client the CLI's [legodb query --connect] uses.
+
+    {2 The protocol}
+
+    Every message — either direction — is one {!Legodb_wire.Wire.frame}
+    with magic [LEGODB-NET], version 1: a header line
+
+    {v LEGODB-NET 1 <crc32-hex> <payload-bytes> v}
+
+    followed by exactly [<payload-bytes>] of payload, CRC-checked
+    before any decoding — the same frame shape as the WAL's records
+    and the snapshot files, so a bit flip anywhere in a frame is a
+    checksum mismatch, never a mis-parsed request.  Payloads use the
+    shared token/length-prefix codec; queries travel as XQuery source
+    text and appends as XML source text (both parsed server-side, so a
+    malformed body is a structured {!Error_reply}, not a dead server).
+
+    A peer that sends garbage — bad magic, impossible length, checksum
+    mismatch — gets one {!Error_reply} frame and then a clean
+    disconnect: after a framing error the byte stream has no reliable
+    resynchronization point, so the connection is the unit of failure.
+    Other connections are unaffected.
+
+    {2 Batching and group commit}
+
+    The server is one [select] loop: requests that arrive concurrently
+    (across connections, or pipelined on one) are collected and
+    answered together — queries fan out on one {!Serve.run_batch}
+    call per loop round, appends accumulate into a group that is
+    committed by one {!Serve.append_group} (one WAL write + one fsync
+    for the whole group) when the group reaches [max_group] appends or
+    its oldest member has waited [group_commit_ms].  An append is
+    acknowledged ({!Acked}) only after its group's fsync returns, so
+    the PR 8 invariant survives the network: an acked append is never
+    lost, an unacked one is cleanly absent after a crash.
+
+    Responses are delivered per connection in request order (a
+    pipelined client can match them positionally). *)
+
+(** {1 Messages} *)
+
+type request =
+  | Query of string  (** XQuery source text, parsed server-side *)
+  | Append of string  (** XML document text, parsed server-side *)
+  | Publish  (** the {!Serve.publish} barrier *)
+  | Stats
+  | Ping
+
+type response =
+  | Rows of {
+      rows : Legodb_relational.Rtype.value list list;
+      cached : bool;
+    }  (** a query's answer — same payload as {!Serve.reply} *)
+  | Acked  (** the append's group fsync returned; it is durable *)
+  | Published
+  | Stats_reply of Serve.stats
+  | Pong
+  | Error_reply of string
+      (** a structured failure: parse error, untranslatable query,
+          timeout, shred rejection, or a framing error (after which
+          the server closes this connection) *)
+
+val encode_request : request -> string
+(** The full frame bytes (header line + payload) — what travels. *)
+
+val encode_response : response -> string
+
+val decode_request : string -> request
+(** Decode a frame's {e payload} (the frame itself already validated).
+    @raise Legodb_wire.Wire.Corrupt on a malformed payload. *)
+
+val decode_response : string -> response
+(** @raise Legodb_wire.Wire.Corrupt *)
+
+val extract : string -> [ `Frame of string * string | `Partial | `Broken of string ]
+(** The streaming frame extractor both ends parse the byte stream
+    with: [`Frame (payload, rest)] is one validated frame's payload
+    plus the bytes after it, [`Partial] means the data so far is a
+    legal prefix (keep reading), [`Broken] is a framing defect — bad
+    magic, impossible length, checksum mismatch — with a one-line
+    diagnosis.  Exposed so the protocol-fuzz tests exercise exactly
+    the production parser. *)
+
+(** {1 Server} *)
+
+val serve :
+  ?host:string ->
+  ?group_commit_ms:int ->
+  ?max_group:int ->
+  ?timeout_ms:int ->
+  ?stop:bool ref ->
+  ?on_listen:(int -> unit) ->
+  port:int ->
+  Serve.t ->
+  unit
+(** Run the accept loop until [!stop] (checked at least every 250ms)
+    becomes true, then close every connection and return.  [?host]
+    (default ["127.0.0.1"]) is the bind address; [~port] [0] binds an
+    ephemeral port.  [?on_listen] is called once with the actually
+    bound port, after [listen] succeeds and before the first accept —
+    the tests' startup handshake.  [?group_commit_ms] (default [5])
+    bounds how long the oldest staged append waits for its group's
+    fsync; [0] still groups appends that arrived in the same loop
+    round.  [?max_group] (default [64]) caps a group's size.
+    [?timeout_ms] is handed to {!Serve.run_batch} as each query's
+    budget.  Appends still waiting for a group at stop time were never
+    acknowledged, and are dropped with their connections.
+    @raise Invalid_argument on [group_commit_ms < 0] or [max_group < 1]
+    @raise Unix.Unix_error e.g. when the port is already bound
+    ([EADDRINUSE] — the CLI maps this family to exit code 9). *)
+
+(** {1 Client} *)
+
+type client
+(** A blocking connection to a server.  Not thread-safe; one request
+    pipeline per client. *)
+
+exception Protocol_error of string
+(** The peer broke the framing protocol (bad magic, checksum mismatch,
+    connection closed mid-frame).  The connection is unusable. *)
+
+exception Closed
+(** Orderly EOF: the server closed the connection between frames. *)
+
+val connect : ?host:string -> port:int -> unit -> client
+(** @raise Unix.Unix_error e.g. [ECONNREFUSED] (CLI exit code 9). *)
+
+val send : client -> request -> unit
+(** Write one request frame.  [send] without an intervening {!recv}
+    pipelines: the server answers in order, so [k] sends followed by
+    [k] recvs match positionally — and pipelined appends land in the
+    same commit group. *)
+
+val send_raw : client -> string -> unit
+(** Write arbitrary bytes — the protocol tests' and the CLI
+    corrupt-probe's way of sending deliberately damaged frames. *)
+
+val recv : client -> response
+(** Block for the next response frame.
+    @raise Protocol_error @raise Closed *)
+
+val rpc : client -> request -> response
+(** [send] then [recv]. *)
+
+val close : client -> unit
+
+val parse_endpoint : string -> (string * int, string) result
+(** Split a [HOST:PORT] endpoint; [Error] is a one-line diagnosis
+    (the CLI's [--connect] validation). *)

@@ -46,6 +46,10 @@ type stats = {
   snapshot_rows : int;
   snapshots_published : int;
   pending_appends : int;
+  wal_appends : int;
+  wal_fsyncs : int;
+  wal_groups : int;
+  wal_max_group : int;
 }
 
 (* durability state: the WAL every acknowledged append is fsynced to,
@@ -254,15 +258,18 @@ let run_batch ?timeout_ms t qs =
                     (Option.value ~default:0 timeout_ms)))));
   out
 
-(* run [f] (which inserts into the working store) and log exactly the
-   rows it added, so the durable log mirrors the in-memory store even
-   when shredding fails partway (the partial rows are logged too, then
-   the error re-raised — same partial-document semantics as the
-   in-memory path).  Caller holds the lock. *)
-let wal_capture t f =
+(* run [f] (which inserts into the working store) and stage exactly
+   the rows it added in the WAL's open group, so the durable log
+   mirrors the in-memory store even when shredding fails partway (the
+   partial rows are staged too, and [f]'s failure is returned rather
+   than raised so the caller can flush the group first).  Nothing
+   touches the disk here: the caller must {!wal_flush} — the ack
+   barrier — before acknowledging anything staged.  Caller holds the
+   lock. *)
+let wal_stage t f =
   match t.dur with
-  | None -> f ()
-  | Some d -> (
+  | None -> ( match f () with () -> Ok () | exception e -> Error e)
+  | Some d ->
       (match d.broken with
       | Some m ->
           failwith
@@ -289,21 +296,66 @@ let wal_capture t f =
             else None)
           before
       in
-      (try ignore (Wal.append d.wal added)
-       with e ->
-         (* the record may be torn on disk; nothing was acknowledged.
-            Refuse further writes — replay must never see a hole. *)
-         d.broken <- Some (Printexc.to_string e);
-         raise e);
-      match res with Ok () -> () | Error e -> raise e)
+      ignore (Wal.stage d.wal added);
+      res
+
+(* commit the open group: one write + one fsync covering everything
+   staged since the last flush.  Caller holds the lock. *)
+let wal_flush t =
+  match t.dur with
+  | None -> ()
+  | Some d -> (
+      try Wal.flush d.wal
+      with e ->
+        (* the commit unit may be torn on disk; none of the group was
+           acknowledged.  Refuse further writes — replay must never
+           see a hole. *)
+        d.broken <- Some (Printexc.to_string e);
+        raise e)
+
+let shred_error = function
+  | Shred.Shred_error { path; message } ->
+      Printf.sprintf "shredding failed at %s: %s" (String.concat "/" path)
+        message
+  | e -> Printexc.to_string e
 
 let append t doc =
   Serve_lock.with_lock t.lock (fun () ->
-      wal_capture t (fun () -> Shred.shred_into t.working t.mapping doc);
-      t.pending <- t.pending + 1)
+      let res = wal_stage t (fun () -> Shred.shred_into t.working t.mapping doc) in
+      wal_flush t;
+      match res with
+      | Ok () -> t.pending <- t.pending + 1
+      | Error e -> raise e)
+
+let append_group t docs =
+  Serve_lock.with_lock t.lock (fun () ->
+      (* stage every document, then flush once: the whole group rides
+         one commit unit — one write, one fsync — and nothing is
+         acknowledged until that fsync returns.  A document that fails
+         to shred poisons only its own slot (its partial rows are
+         staged, mirroring the store, exactly as {!append} logs them)
+         — never its neighbors. *)
+      let results =
+        List.map
+          (fun doc ->
+            wal_stage t (fun () -> Shred.shred_into t.working t.mapping doc))
+          docs
+      in
+      wal_flush t;
+      List.map
+        (function
+          | Ok () ->
+              t.pending <- t.pending + 1;
+              Ok ()
+          | Error e -> Error (shred_error e))
+        results)
 
 let publish t =
   Serve_lock.with_lock t.lock (fun () ->
+      (* by construction nothing is staged between appends (both append
+         paths flush before returning), but the snapshot must never
+         outrun the log — flush defensively before freezing *)
+      wal_flush t;
       let frozen = Storage.freeze t.working in
       (* snapshot first, then truncate the log: a crash between the two
          leaves already-snapshotted records in the log, which replay
@@ -423,6 +475,11 @@ let pp_recovery fmt r =
 
 let stats t =
   Serve_lock.with_lock t.lock (fun () ->
+      let w =
+        match t.dur with
+        | None -> { Wal.appends = 0; fsyncs = 0; groups = 0; max_group = 0 }
+        | Some d -> Wal.stats d.wal
+      in
       {
         served = t.served;
         cache_hits = t.hits;
@@ -430,6 +487,10 @@ let stats t =
         snapshot_rows = Storage.total_rows (Atomic.get t.snap).db;
         snapshots_published = t.published;
         pending_appends = t.pending;
+        wal_appends = w.Wal.appends;
+        wal_fsyncs = w.Wal.fsyncs;
+        wal_groups = w.Wal.groups;
+        wal_max_group = w.Wal.max_group;
       })
 
 (* ------------------------------------------------------------------ *)
@@ -477,4 +538,9 @@ let pp_stats fmt (s : stats) =
     "served %d (plan cache: %d hits, %d misses), snapshot %d rows, %d \
      publishes, %d pending appends"
     s.served s.cache_hits s.cache_misses s.snapshot_rows s.snapshots_published
-    s.pending_appends
+    s.pending_appends;
+  if s.wal_appends > 0 then
+    Format.fprintf fmt
+      "; wal: %d appends in %d groups (max %d), %.2f fsyncs/append"
+      s.wal_appends s.wal_groups s.wal_max_group
+      (float_of_int s.wal_fsyncs /. float_of_int s.wal_appends)

@@ -80,7 +80,13 @@ type stats = {
   snapshot_rows : int;  (** total rows of the current serving snapshot *)
   snapshots_published : int;  (** {!publish} barriers, initial freeze excluded *)
   pending_appends : int;  (** documents appended since the last publish *)
+  wal_appends : int;  (** appends acknowledged durably ({!Wal.stats}) *)
+  wal_fsyncs : int;  (** append-path fsyncs — [wal_fsyncs /. wal_appends]
+                         is what group commit drives below 1.0 *)
+  wal_groups : int;  (** commit units written *)
+  wal_max_group : int;  (** largest group one fsync acknowledged *)
 }
+(** The four [wal_*] counters are all zero when durability is off. *)
 
 val create :
   ?jobs:int ->
@@ -142,10 +148,26 @@ val run_batch :
 
 val append : t -> Legodb_xml.Xml.t -> unit
 (** Shred one document into the working store.  Invisible to readers
-    until the next {!publish}.
+    until the next {!publish}.  With durability on, the append is
+    staged and flushed as its own commit unit — one fsync — before
+    returning (the PR 8 fsync-per-append discipline).
     @raise Legodb_mapping.Shred.Shred_error when the document does not
     fit the configuration's schema (the working store may then hold a
     partial document — as with {!Legodb_mapping.Shred.shred_into}). *)
+
+val append_group : t -> Legodb_xml.Xml.t list -> (unit, string) result list
+(** Shred a batch of documents as one {e group commit}: every
+    document's rows are staged in the WAL's open group, then a single
+    flush — one [write], one [fsync] — acknowledges them all, so the
+    device's sync latency is paid once per group instead of once per
+    document.  None of the group is durable (and nothing is reported
+    [Ok]) until that fsync returns; a crash mid-group loses the whole
+    group, which is exactly what the callers were told.  Slot [i]
+    answers document [i]: a document the shredder rejects yields
+    [Error message] (its partial rows are logged, same as {!append})
+    and never poisons its neighbors' slots.  [append_group t [d]] is
+    {!append} with the error reified; [append_group t []] is a no-op
+    ([[]], no fsync). *)
 
 val publish : t -> unit
 (** The batched-append barrier: freeze the working store (statistics

@@ -15,12 +15,17 @@
       {!Serve.publish} barrier, so the file is always a complete,
       checksummed image of some published state.
     - [wal.legodb] — a header line [LEGODB-WAL 1] followed by one
-      record per {!Serve.append}: a [R <crc32> <len>] line and a
-      checksummed payload carrying the record's sequence number and
-      the shredded rows per table.  Each record is written with a
-      single [write] and fsynced before the append is acknowledged;
-      the log is truncated back to its header after each successful
-      snapshot.
+      {e commit unit} per {!flush}: a single append commits as a
+      [R <crc32> <len>] record (the record's sequence number and the
+      shredded rows per table, inside the checksum), and a {e group}
+      of [k >= 2] staged appends commits as one [G <crc32> <len>]
+      record whose payload carries the first sequence number, the
+      member count, and every member's rows under a single CRC.
+      Either way a commit unit is written with one [write] and one
+      [fsync] before any of its appends is acknowledged — group
+      commit amortizes the device's sync latency over the whole
+      group.  The log is truncated back to its header after each
+      successful snapshot.
 
     {2 Failure semantics}
 
@@ -29,16 +34,20 @@
     between} the snapshot rename and the log truncation (when the log
     still holds already-snapshotted records) never double-applies.
 
-    A record that simply stops early — torn header line, payload
+    A commit unit that simply stops early — torn header line, payload
     shorter than its declared length, missing terminator — is the
     signature of a crash mid-write: {!replay_string} drops it (and
-    everything after it, though by construction a torn record is the
-    tail) and reports the truncation, because the append it belonged
-    to was never acknowledged.  Everything else — bad magic, wrong
-    version, a checksum mismatch on a structurally complete record,
-    non-contiguous sequence numbers — is real corruption: {!Corrupt}
-    is raised, the CLI maps it to exit code 8, and recovery refuses to
-    serve rather than guess. *)
+    everything after it, though by construction a torn unit is the
+    tail) and reports the truncation, because none of the appends it
+    carried was ever acknowledged.  A group commits or truncates {e as
+    a unit}: its members share one record and one checksum, so a crash
+    mid-group can never surface a prefix of the group as if it had
+    committed — exactly the ack invariant, every acked append survives
+    and every unacked one is cleanly absent.  Everything else — bad
+    magic, wrong version, a checksum mismatch on a structurally
+    complete record, non-contiguous sequence numbers — is real
+    corruption: {!Corrupt} is raised, the CLI maps it to exit code 8,
+    and recovery refuses to serve rather than guess. *)
 
 open Legodb_xtype
 open Legodb_relational
@@ -68,6 +77,13 @@ type record = {
 val encode_record : record -> string
 (** The record's full on-disk bytes: header line + checksummed
     payload + terminator. *)
+
+val encode_group : record list -> string
+(** The on-disk bytes of one commit unit: a singleton encodes as a
+    plain [R] record (byte-identical to the fsync-per-append format),
+    two or more as one [G] record under a single CRC.  Sequence
+    numbers must be contiguous.
+    @raise Invalid_argument on an empty or non-contiguous group. *)
 
 val record_equal : record -> record -> bool
 (** Structural equality, value bit-patterns included (the codec
@@ -102,11 +118,31 @@ val reopen :
     it to [valid_bytes] (cutting a torn tail off), so the log on disk
     is exactly its replayable prefix again. *)
 
+val stage : t -> (string * Storage.row list) list -> int
+(** Assign the next sequence number to one append and buffer it in the
+    {e open group}; nothing touches the disk.  The append is {e not}
+    durable (and must not be acknowledged) until the next {!flush}
+    returns. *)
+
+val flush : t -> unit
+(** Commit the open group: encode every staged append into one commit
+    unit ({!encode_group}), write it with a single [write], and fsync
+    once.  Only after [flush] returns are the staged appends durable —
+    this is the ack barrier.  A no-op (no write, no fsync) when
+    nothing is staged.  If the write or fsync raises, the unit may be
+    torn on disk and {e none} of the group was acknowledged; the torn
+    tail is exactly what replay truncates, and the staged buffer is
+    left in place so the caller can go fail-stop. *)
+
+val staged : t -> int
+(** Appends in the open group (staged since the last {!flush}). *)
+
 val append : t -> (string * Storage.row list) list -> int
-(** Write one record (a single [write] of the framed bytes) and fsync;
-    returns the record's sequence number.  If the write or fsync
-    raises, the record may be torn on disk — the caller must treat the
-    append as failed (it is exactly what replay truncates). *)
+(** [stage] + [flush] — the PR 8 fsync-per-append discipline, one
+    record and one fsync per append; returns the record's sequence
+    number.  If the write or fsync raises, the record may be torn on
+    disk — the caller must treat the append as failed (it is exactly
+    what replay truncates). *)
 
 val reset : t -> unit
 (** Truncate back to the header and fsync — the post-snapshot log
@@ -115,6 +151,21 @@ val reset : t -> unit
 
 val next_seq : t -> int
 val close : t -> unit
+
+(** {1 Commit accounting} *)
+
+type stats = {
+  appends : int;  (** appends acknowledged (staged and then flushed) *)
+  fsyncs : int;  (** append-path fsyncs: one per non-empty {!flush} *)
+  groups : int;  (** non-empty flushes — commit units written *)
+  max_group : int;  (** largest group committed by one flush *)
+}
+(** What group commit saves is fsyncs per append:
+    [fsyncs /. appends] is 1.0 under fsync-per-append and [1/k] for
+    steady groups of [k].  {!reset}'s truncation fsync is not counted
+    — the ratio is strictly about the append path. *)
+
+val stats : t -> stats
 
 (** {1 Snapshots} *)
 

@@ -1,0 +1,460 @@
+(* The network front door.  Three families of contracts:
+
+   - the frame codec: request and response frames round-trip
+     bit-exactly, and any single bit flip, truncation, or garbage
+     prefix of a frame is rejected at the framing layer — never parsed
+     as a different message;
+
+   - the server: answers over TCP are bit-identical to the in-process
+     [Serve.run_batch] path (concurrent clients included), pipelined
+     appends share commit groups with one fsync each, per-request
+     timeouts and bad requests poison only their own slot, and a
+     malformed frame costs its connection exactly one structured error
+     and a clean close — the server keeps serving everyone else;
+
+   - the client: pipelined sends match responses positionally, and a
+     peer that breaks the protocol surfaces as [Closed] or
+     [Protocol_error], never a hang or a crash.
+
+   The server under test runs in a [Thread] on an ephemeral port; its
+   select loop blocks outside the runtime lock, so client threads make
+   progress on every OCaml version the CI builds.  On a 4.14 build the
+   server thread is the only thread mutating [Serve] state, so every
+   in-process reference computation below is sequenced strictly after
+   the server thread is joined. *)
+
+open Legodb
+open Test_util
+
+let prop name ?(count = 30) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let tmp_dir () =
+  let d = Filename.temp_file "legodb_net" ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let setup () =
+  let doc = Lazy.force small_imdb_doc in
+  let stats = Collector.collect doc in
+  let ps = Init.all_inlined (Annotate.schema stats Imdb.Schema.schema) in
+  let m = mapping_of ps in
+  (doc, m)
+
+(* the queries travel as source text and are parsed server-side; the
+   same texts parsed here are the in-process reference *)
+let q_texts =
+  [
+    "FOR $v IN document(\"x\")/imdb/show WHERE $v/year = 1990 RETURN \
+     $v/title, $v/year";
+    "FOR $v IN document(\"x\")/imdb/actor RETURN $v/name";
+    "FOR $i IN document(\"x\")/imdb $a in $i/actor, $m1 in $a/played RETURN \
+     $a/name, $m1/title";
+  ]
+
+let q_asts = List.map (Xq_parse.parse ~name:"net") q_texts
+
+(* ------------------------------------------------------------------ *)
+(* harness: a served corpus on an ephemeral port, in a thread          *)
+(* ------------------------------------------------------------------ *)
+
+let run_server ?group_commit_ms ?max_group ?timeout_ms server f =
+  let stop = ref false in
+  let port = ref None in
+  let failure = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        try
+          Net.serve ?group_commit_ms ?max_group ?timeout_ms ~stop
+            ~on_listen:(fun p -> port := Some p)
+            ~port:0 server
+        with e -> failure := Some e)
+      ()
+  in
+  let halt () =
+    stop := true;
+    Thread.join th;
+    match !failure with
+    | Some e -> Alcotest.failf "server thread died: %s" (Printexc.to_string e)
+    | None -> ()
+  in
+  let rec await n =
+    match !port with
+    | Some p -> p
+    | None ->
+        if !failure <> None || n > 500 then begin
+          halt ();
+          Alcotest.fail "server never listened"
+        end
+        else begin
+          Thread.delay 0.01;
+          await (n + 1)
+        end
+  in
+  let p = await 0 in
+  let r = match f p with r -> Ok r | exception e -> Error e in
+  halt ();
+  match r with Ok r -> r | Error e -> raise e
+
+let with_client port f =
+  let c = Net.connect ~port () in
+  Fun.protect ~finally:(fun () -> Net.close c) (fun () -> f c)
+
+let expect_rows name = function
+  | Net.Rows { rows; _ } -> rows
+  | Net.Error_reply m -> Alcotest.failf "%s: error reply: %s" name m
+  | _ -> Alcotest.failf "%s: unexpected response kind" name
+
+let expect_error name = function
+  | Net.Error_reply m -> m
+  | _ -> Alcotest.failf "%s: expected an error reply" name
+
+let expect_stats name = function
+  | Net.Stats_reply s -> s
+  | _ -> Alcotest.failf "%s: expected a stats reply" name
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    case "ping, stats, and a query answered over TCP" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let rows =
+          run_server server (fun port ->
+              with_client port (fun c ->
+                  (match Net.rpc c Net.Ping with
+                  | Net.Pong -> ()
+                  | _ -> Alcotest.fail "expected pong");
+                  let rows =
+                    expect_rows "query"
+                      (Net.rpc c (Net.Query (List.hd q_texts)))
+                  in
+                  let s = expect_stats "stats" (Net.rpc c Net.Stats) in
+                  check_bool "request counted" true (s.Serve.served >= 1);
+                  rows))
+        in
+        (* reference computed after the server thread is joined *)
+        let local = (Serve.query server (List.hd q_asts)).Serve.rows in
+        check_bool "network answer non-trivial" true (rows <> []);
+        check_bool "bit-identical to the in-process path" true (rows = local));
+    case "concurrent clients get answers bit-identical to run_batch"
+      (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let texts = Array.of_list q_texts in
+        let per_client = 9 in
+        let n_clients = 4 in
+        let answers =
+          run_server server (fun port ->
+              let results = Array.make n_clients [||] in
+              let client k =
+                with_client port (fun c ->
+                    results.(k) <-
+                      Array.init per_client (fun i ->
+                          Net.rpc c
+                            (Net.Query texts.((k + i) mod Array.length texts))))
+              in
+              let ths =
+                Array.init n_clients (fun k -> Thread.create client k)
+              in
+              Array.iter Thread.join ths;
+              results)
+        in
+        let reference =
+          Serve.run_batch server (Array.of_list q_asts)
+          |> Array.map (function
+               | Ok (r : Serve.reply) -> r.Serve.rows
+               | Error e -> Alcotest.failf "reference failed: %s" e)
+        in
+        Array.iteri
+          (fun k per ->
+            check_int (Printf.sprintf "client %d answered" k) per_client
+              (Array.length per);
+            Array.iteri
+              (fun i resp ->
+                let rows = expect_rows (Printf.sprintf "c%d q%d" k i) resp in
+                check_bool
+                  (Printf.sprintf "client %d request %d bit-identical" k i)
+                  true
+                  (rows = reference.((k + i) mod Array.length reference)))
+              per)
+          answers);
+    case "pipelined appends share commit groups, one fsync per group"
+      (fun () ->
+        let doc, m = setup () in
+        let dir = tmp_dir () in
+        let server =
+          Serve.create ~jobs:1 ~data_dir:dir m (Shred.shred m doc)
+        in
+        let text = Xml.to_string doc in
+        (* max_group 4 under a wide deadline: flushes trigger on size
+           alone, so the grouping is deterministic however the reads
+           split — 8 pipelined appends, exactly 2 groups of 4 *)
+        run_server ~group_commit_ms:10_000 ~max_group:4 server (fun port ->
+            with_client port (fun c ->
+                for _ = 1 to 8 do
+                  Net.send c (Net.Append text)
+                done;
+                for i = 1 to 8 do
+                  match Net.recv c with
+                  | Net.Acked -> ()
+                  | Net.Error_reply m ->
+                      Alcotest.failf "append %d rejected: %s" i m
+                  | _ -> Alcotest.failf "append %d: unexpected response" i
+                done;
+                let s = expect_stats "stats" (Net.rpc c Net.Stats) in
+                check_int "appends acked" 8 s.Serve.wal_appends;
+                check_int "in two groups" 2 s.Serve.wal_groups;
+                check_int "one fsync each" 2 s.Serve.wal_fsyncs;
+                check_int "of four appends" 4 s.Serve.wal_max_group;
+                check_int "all pending" 8 s.Serve.pending_appends));
+        (* the groups are real commits: a fresh process recovers all 8 *)
+        let recovered, r = Serve.recover ~jobs:1 ~dir () in
+        check_int "every acked append recovered" 8 r.Serve.r_replayed;
+        check_int "as pending appends" 8
+          (Serve.stats recovered).Serve.pending_appends;
+        rm_rf dir);
+    case "publish over the network flushes the open group first" (fun () ->
+        let doc, m = setup () in
+        let dir = tmp_dir () in
+        let server =
+          Serve.create ~jobs:1 ~data_dir:dir m (Shred.shred m doc)
+        in
+        let text = Xml.to_string doc in
+        run_server ~group_commit_ms:10_000 ~max_group:64 server (fun port ->
+            with_client port (fun c ->
+                (* the appends sit in the open group (the deadline is
+                   far, max_group farther) until the pipelined publish
+                   arrives and must commit them before the barrier *)
+                Net.send c (Net.Append text);
+                Net.send c (Net.Append text);
+                Net.send c Net.Publish;
+                (match (Net.recv c, Net.recv c, Net.recv c) with
+                | Net.Acked, Net.Acked, Net.Published -> ()
+                | _ -> Alcotest.fail "expected acked, acked, published");
+                let s = expect_stats "stats" (Net.rpc c Net.Stats) in
+                check_int "one group of two" 2 s.Serve.wal_max_group;
+                check_int "nothing pending" 0 s.Serve.pending_appends;
+                check_int "one publish" 1 s.Serve.snapshots_published));
+        rm_rf dir);
+    case "per-request timeout degrades to an error slot over TCP" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        (* a zero budget trips at the first plan-block boundary under
+           the real clock: deterministic, no sleeping *)
+        run_server ~timeout_ms:0 server (fun port ->
+            with_client port (fun c ->
+                let m1 =
+                  expect_error "query"
+                    (Net.rpc c (Net.Query (List.hd q_texts)))
+                in
+                check_bool "names the timeout" true (contains m1 "timeout");
+                (* the connection — and the server — survive it *)
+                match Net.rpc c Net.Ping with
+                | Net.Pong -> ()
+                | _ -> Alcotest.fail "expected pong after the timeout")));
+    case "bad requests poison only their own slot" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        run_server server (fun port ->
+            with_client port (fun c ->
+                (* one pipelined round: good, unparsable, untranslatable,
+                   bad XML, good — answered positionally *)
+                Net.send c (Net.Query (List.hd q_texts));
+                Net.send c (Net.Query "THIS IS NOT XQUERY ((");
+                Net.send c (Net.Query "FOR $v in imdb/nothing RETURN $v");
+                Net.send c (Net.Append "<unclosed");
+                Net.send c (Net.Query (List.hd q_texts));
+                let r1 = Net.recv c in
+                let e2 = expect_error "unparsable" (Net.recv c) in
+                let e3 = expect_error "untranslatable" (Net.recv c) in
+                let e4 = expect_error "bad xml" (Net.recv c) in
+                let r5 = Net.recv c in
+                check_bool "parse error named" true (contains e2 "parse");
+                check_bool "untranslatable named" true
+                  (contains e3 "untranslatable");
+                check_bool "XML error named" true (contains e4 "XML");
+                let rows1 = expect_rows "first" r1 in
+                let rows5 = expect_rows "last" r5 in
+                check_bool "answer non-trivial" true (rows1 <> []);
+                check_bool "neighbors answered identically" true
+                  (rows1 = rows5))));
+    case "a corrupt frame: one error reply, clean close, server survives"
+      (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        run_server server (fun port ->
+            (* a flipped bit inside an otherwise valid frame *)
+            with_client port (fun victim ->
+                let frame =
+                  Bytes.of_string
+                    (Net.encode_request (Net.Query (List.hd q_texts)))
+                in
+                let i = Bytes.length frame - 2 in
+                Bytes.set frame i
+                  (Char.chr (Char.code (Bytes.get frame i) lxor 0x10));
+                Net.send_raw victim (Bytes.to_string frame);
+                let m1 = expect_error "flipped bit" (Net.recv victim) in
+                check_bool "names the defect" true
+                  (contains m1 "checksum" || contains m1 "malformed"
+                 || contains m1 "magic");
+                match Net.recv victim with
+                | exception Net.Closed -> ()
+                | exception Net.Protocol_error _ -> ()
+                | _ -> Alcotest.fail "expected a clean disconnect");
+            (* a garbage greeting: same contract, different defect *)
+            with_client port (fun victim ->
+                Net.send_raw victim "GET / HTTP/1.1\r\nHost: nope\r\n\r\n";
+                let _ = expect_error "garbage" (Net.recv victim) in
+                match Net.recv victim with
+                | exception Net.Closed -> ()
+                | exception Net.Protocol_error _ -> ()
+                | _ -> Alcotest.fail "expected a clean disconnect");
+            (* a client that dies mid-frame costs nothing *)
+            let half = Net.connect ~port () in
+            Net.send_raw half (String.sub (Net.encode_request Net.Ping) 0 5);
+            Net.close half;
+            (* other connections never noticed any of it *)
+            with_client port (fun c ->
+                let rows =
+                  expect_rows "after the abuse"
+                    (Net.rpc c (Net.Query (List.hd q_texts)))
+                in
+                check_bool "still serving" true (rows <> []))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* properties: the frame codec under fuzzing                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_value =
+  QCheck2.Gen.(
+    oneof
+      [
+        return Rtype.V_null;
+        map (fun n -> Rtype.V_int n) int;
+        map
+          (fun s -> Rtype.V_string s)
+          (string_size ~gen:char (int_range 0 12));
+      ])
+
+let gen_request =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun s -> Net.Query s) (string_size ~gen:char (int_range 0 64));
+        map (fun s -> Net.Append s) (string_size ~gen:char (int_range 0 64));
+        return Net.Publish;
+        return Net.Stats;
+        return Net.Ping;
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2
+          (fun rows cached -> Net.Rows { rows; cached })
+          (list_size (int_range 0 5) (list_size (int_range 0 4) gen_value))
+          bool;
+        return Net.Acked;
+        return Net.Published;
+        map
+          (function
+            | [ a; b; c; d; e; f; g; h; i; j ] ->
+                Net.Stats_reply
+                  {
+                    Serve.served = a;
+                    cache_hits = b;
+                    cache_misses = c;
+                    snapshot_rows = d;
+                    snapshots_published = e;
+                    pending_appends = f;
+                    wal_appends = g;
+                    wal_fsyncs = h;
+                    wal_groups = i;
+                    wal_max_group = j;
+                  }
+            | _ -> assert false)
+          (list_repeat 10 (int_range 0 1_000_000));
+        return Net.Pong;
+        map
+          (fun s -> Net.Error_reply s)
+          (string_size ~gen:char (int_range 0 64));
+      ])
+
+let flip_bit s pos bit =
+  let b = Bytes.of_string s in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+(* decode one frame through the streaming extractor, as the peer does *)
+let decode_frame decode bytes =
+  match Net.extract bytes with
+  | `Frame (payload, "") -> Some (decode payload)
+  | _ -> None
+
+let prop_request_roundtrip =
+  prop "request frames round-trip bit-exactly" ~count:100 gen_request
+    (fun r ->
+      let bytes = Net.encode_request r in
+      match decode_frame Net.decode_request bytes with
+      | Some r' -> r = r' && String.equal (Net.encode_request r') bytes
+      | None -> false)
+
+let prop_response_roundtrip =
+  prop "response frames round-trip bit-exactly" ~count:100 gen_response
+    (fun r ->
+      let bytes = Net.encode_response r in
+      match decode_frame Net.decode_response bytes with
+      | Some r' -> r = r' && String.equal (Net.encode_response r') bytes
+      | None -> false)
+
+let prop_bit_flip =
+  prop "any single bit flip of a frame is rejected, never re-parsed"
+    ~count:200
+    QCheck2.Gen.(triple gen_request (int_range 0 1_000_000) (int_range 0 7))
+    (fun (r, pos, bit) ->
+      let bytes = Net.encode_request r in
+      let flipped = flip_bit bytes (pos mod String.length bytes) bit in
+      match Net.extract flipped with
+      | `Broken _ -> true
+      | `Partial -> true (* a grown length field: the peer times out *)
+      | `Frame _ -> false)
+
+let prop_truncation =
+  prop "every strict prefix of a frame is Partial — wait, never guess"
+    ~count:100
+    QCheck2.Gen.(pair gen_request (int_range 0 1_000_000))
+    (fun (r, cut) ->
+      let bytes = Net.encode_request r in
+      let prefix = String.sub bytes 0 (cut mod String.length bytes) in
+      match Net.extract prefix with `Partial -> true | _ -> false)
+
+let prop_garbage_prefix =
+  prop "a garbage prefix never yields a parsed frame" ~count:100
+    QCheck2.Gen.(pair (string_size ~gen:char (int_range 1 40)) gen_request)
+    (fun (garbage, r) ->
+      match Net.extract (garbage ^ Net.encode_request r) with
+      | `Broken _ | `Partial -> true
+      | `Frame _ -> false)
+
+let props =
+  [
+    prop_request_roundtrip;
+    prop_response_roundtrip;
+    prop_bit_flip;
+    prop_truncation;
+    prop_garbage_prefix;
+  ]

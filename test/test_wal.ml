@@ -394,6 +394,218 @@ let suite =
         | exception Invalid_argument m ->
             check_bool "points at recover" true (contains m "recover"));
         rm_rf dir);
+    (* -------------------------------------------------------------- *)
+    (* group commit                                                    *)
+    (* -------------------------------------------------------------- *)
+    case "stage buffers for free, flush is one write + one fsync" (fun () ->
+        let log, fs = faulty_fs () in
+        let path = Filename.temp_file "legodb_gc" ".wal" in
+        let w = Wal.create ~fs ~next_seq:1 path in
+        let ops0 = List.length log.ops in
+        Wal.flush w;
+        check_int "empty flush is free" ops0 (List.length log.ops);
+        let rows1 = [ ("T", [ [| Rtype.V_int 1 |] ]) ] in
+        let rows2 = [ ("T", [ [| Rtype.V_int 2 |] ]) ] in
+        let s1 = Wal.stage w rows1 in
+        let s2 = Wal.stage w rows2 in
+        check_int "sequence numbers contiguous" (s1 + 1) s2;
+        check_int "both staged" 2 (Wal.staged w);
+        check_int "staging touches no disk" ops0 (List.length log.ops);
+        Wal.flush w;
+        check_int "one write + one fsync" (ops0 + 2) (List.length log.ops);
+        (match log.ops with
+        | ("fsync", _) :: ("write", _) :: _ -> ()
+        | _ -> Alcotest.fail "flush must be write then fsync");
+        check_int "group drained" 0 (Wal.staged w);
+        let st = Wal.stats w in
+        check_int "appends" 2 st.Wal.appends;
+        check_int "fsyncs" 1 st.Wal.fsyncs;
+        check_int "groups" 1 st.Wal.groups;
+        check_int "max group" 2 st.Wal.max_group;
+        (* singleton appends stay in the fsync-per-append byte format,
+           and the grouped log replays with them seamlessly *)
+        let _ = Wal.append w rows1 in
+        Wal.close w;
+        let rep = Wal.replay_file path in
+        check_bool "no tear" true (rep.Wal.torn = None);
+        check_int "three records" 3 (List.length rep.Wal.records);
+        Sys.remove path);
+    case "group codec: singleton byte-identical, bad groups rejected"
+      (fun () ->
+        let r1 = { Wal.seq = 1; rows = [ ("T", [ [| Rtype.V_int 7 |] ]) ] } in
+        let r2 = { Wal.seq = 2; rows = [] } in
+        check_string "singleton is an R record" (Wal.encode_record r1)
+          (Wal.encode_group [ r1 ]);
+        (match Wal.encode_group [] with
+        | _ -> Alcotest.fail "empty group must be rejected"
+        | exception Invalid_argument _ -> ());
+        (match Wal.encode_group [ r1; { r2 with Wal.seq = 5 } ] with
+        | _ -> Alcotest.fail "a gap inside a group must be rejected"
+        | exception Invalid_argument _ -> ());
+        let img = "LEGODB-WAL 1\n" ^ Wal.encode_group [ r1; r2 ] in
+        let rep = Wal.replay_string img in
+        check_bool "no tear" true (rep.Wal.torn = None);
+        check_int "two members" 2 (List.length rep.Wal.records);
+        check_bool "members equal" true
+          (List.for_all2 Wal.record_equal [ r1; r2 ] rep.Wal.records));
+    case "group damage classes get distinct one-line errors" (fun () ->
+        let r1 =
+          { Wal.seq = 1; rows = [ ("T", [ [| Rtype.V_string "x" |] ]) ] }
+        in
+        let g =
+          [ { Wal.seq = 2; rows = [ ("T", []) ] }; { Wal.seq = 3; rows = [] } ]
+        in
+        let img =
+          "LEGODB-WAL 1\n" ^ Wal.encode_record r1 ^ Wal.encode_group g
+        in
+        check_bool "bit flip in the group" true
+          (corrupts ~expect:"checksum" (fun () ->
+               Wal.replay_string (flip_bit img (String.length img - 3) 0)));
+        (* a unit declaring fewer than two members is malformed, not a
+           clever singleton *)
+        let forged count =
+          let b = Buffer.create 16 in
+          Wire.w_int b 2;
+          Wire.w_int b count;
+          let p = Buffer.contents b in
+          "LEGODB-WAL 1\n" ^ Wal.encode_record r1
+          ^ Printf.sprintf "G %08lx %d\n%s\n" (Wire.crc32 p) (String.length p)
+              p
+        in
+        check_bool "undersized group" true
+          (corrupts ~expect:"group" (fun () -> Wal.replay_string (forged 1)));
+        (* a group that does not extend the log contiguously is
+           corruption, exactly like a gapped R record *)
+        let gap = [ { Wal.seq = 7; rows = [] }; { Wal.seq = 8; rows = [] } ] in
+        check_bool "gap before the group" true
+          (corrupts ~expect:"contiguous" (fun () ->
+               Wal.replay_string
+                 ("LEGODB-WAL 1\n" ^ Wal.encode_record r1
+                ^ Wal.encode_group gap)));
+        (* a torn group truncates as a unit: the acked prefix survives,
+           no member of the unit leaks through *)
+        let rep = Wal.replay_string (String.sub img 0 (String.length img - 4)) in
+        check_bool "torn" true (rep.Wal.torn <> None);
+        check_int "only the acked record" 1 (List.length rep.Wal.records);
+        check_bool "it is record 1" true
+          (Wal.record_equal r1 (List.hd rep.Wal.records)));
+    case "append_group: one fsync per group, replay matches per-append"
+      (fun () ->
+        let doc, m = setup () in
+        let dir = tmp_dir () in
+        let log, fs = faulty_fs () in
+        let server =
+          Serve.create ~jobs:1 ~data_dir:dir ~fs m (Shred.shred m doc)
+        in
+        let ops0 = List.length log.ops in
+        check_bool "empty group is a no-op" true
+          (Serve.append_group server [] = []);
+        check_int "and costs nothing" ops0 (List.length log.ops);
+        (match Serve.append_group server [ doc; doc; doc ] with
+        | [ Ok (); Ok (); Ok () ] -> ()
+        | _ -> Alcotest.fail "all three must be acked");
+        check_int "one write + one fsync for the whole group" (ops0 + 2)
+          (List.length log.ops);
+        Serve.append server doc;
+        let s = Serve.stats server in
+        check_int "appends" 4 s.Serve.wal_appends;
+        check_int "fsyncs" 2 s.Serve.wal_fsyncs;
+        check_int "groups" 2 s.Serve.wal_groups;
+        check_int "max group" 3 s.Serve.wal_max_group;
+        (* a recovered grouped log answers bit-identically to a
+           fsync-per-append oracle that saw the same documents *)
+        let oracle = Serve.create ~jobs:1 m (Shred.shred m doc) in
+        for _ = 1 to 4 do
+          Serve.append oracle doc
+        done;
+        let recovered, r = Serve.recover ~jobs:1 ~dir () in
+        check_int "all four replayed" 4 r.Serve.r_replayed;
+        Serve.publish oracle;
+        Serve.publish recovered;
+        check_bool "bit-identical to fsync-per-append" true
+          (answers oracle = answers recovered);
+        rm_rf dir);
+    case "a rejected document poisons only its slot in the group" (fun () ->
+        let doc, m = setup () in
+        let dir = tmp_dir () in
+        let server =
+          Serve.create ~jobs:1 ~data_dir:dir m (Shred.shred m doc)
+        in
+        (match Serve.append_group server [ doc; books_doc; doc ] with
+        | [ Ok (); Error e; Ok () ] ->
+            check_bool "names shredding" true (contains e "shredding")
+        | _ -> Alcotest.fail "expected ok, error, ok");
+        check_int "two pending" 2 (Serve.stats server).Serve.pending_appends;
+        (* the whole group — the rejected document logged its partial
+           rows, as single appends do — replays without error *)
+        let _, r = Serve.recover ~jobs:1 ~dir () in
+        check_int "three records" 3 r.Serve.r_replayed;
+        rm_rf dir);
+    case "group crash matrix: before write, torn write, at fsync, committed"
+      (fun () ->
+        (* op numbering after creation's 6 (snapshot write_atomic 4 +
+           log header write/fsync): the acked single append is ops 7–8,
+           the group's write is op 9 and its fsync op 10 *)
+        let scenario ~name ~crash_at ~short_write_at ~expect_seq ~expect_torn
+            () =
+          let doc, m = setup () in
+          let dir = tmp_dir () in
+          let _, fs = faulty_fs ~crash_at ~short_write_at () in
+          let server =
+            Serve.create ~jobs:1 ~data_dir:dir ~fs m (Shred.shred m doc)
+          in
+          Serve.append server doc;
+          let crashed =
+            match Serve.append_group server [ doc; doc; doc ] with
+            | results ->
+                List.iter
+                  (function
+                    | Ok () -> ()
+                    | Error e -> Alcotest.failf "%s: rejected: %s" name e)
+                  results;
+                false
+            | exception Crash -> true
+          in
+          check_bool
+            (name ^ ": crashed iff a fault was injected")
+            (crash_at <> max_int || short_write_at <> 0)
+            crashed;
+          (* none of a crashed group was acknowledged, and the server
+             goes fail-stop — no ack after a possible log hole *)
+          if crashed then (
+            match Serve.append server doc with
+            | () -> Alcotest.fail (name ^ ": fail-stop must refuse appends")
+            | exception Failure m ->
+                check_bool (name ^ ": names fail-stop") true
+                  (contains m "fail-stop"));
+          let recovered, r = Serve.recover ~jobs:1 ~dir () in
+          check_int (name ^ ": recovered_seq") expect_seq
+            r.Serve.r_recovered_seq;
+          check_int (name ^ ": replayed") expect_seq r.Serve.r_replayed;
+          check_bool (name ^ ": torn iff the write tore") expect_torn
+            (r.Serve.r_torn <> None);
+          check_int (name ^ ": pending") expect_seq
+            (Serve.stats recovered).Serve.pending_appends;
+          (* the recovered server is live: it takes appends durably *)
+          Serve.append recovered doc;
+          rm_rf dir
+        in
+        (* the group never reached the disk: only the acked single
+           append survives, and the log is clean (no torn tail) *)
+        scenario ~name:"before write" ~crash_at:9 ~short_write_at:0
+          ~expect_seq:1 ~expect_torn:false ();
+        (* the group tore mid-write: truncated as a unit — no member
+           of the unacknowledged group ever replays *)
+        scenario ~name:"torn write" ~crash_at:max_int ~short_write_at:9
+          ~expect_seq:1 ~expect_torn:true ();
+        (* the write completed, the fsync crashed: the group was never
+           acked, but it is intact on disk — replaying it is allowed
+           (the invariant is acked ⇒ durable, not its converse) *)
+        scenario ~name:"at fsync" ~crash_at:10 ~short_write_at:0
+          ~expect_seq:4 ~expect_torn:false ();
+        (* no fault: the whole group is acked and survives *)
+        scenario ~name:"committed" ~crash_at:max_int ~short_write_at:0
+          ~expect_seq:4 ~expect_torn:false ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -427,4 +639,48 @@ let prop_bit_flip =
                   (fun i _ -> i < List.length rep.Wal.records)
                   originals))
 
-let props = [ prop_roundtrip; prop_bit_flip ]
+let prop_group_roundtrip =
+  prop "group commit units round-trip arbitrary members bit-exactly"
+    ~count:50
+    QCheck2.Gen.(list_size (int_range 2 5) gen_record)
+    (fun rs ->
+      let group = List.mapi (fun i r -> { r with Wal.seq = 1 + i }) rs in
+      let rep =
+        Wal.replay_string ("LEGODB-WAL 1\n" ^ Wal.encode_group group)
+      in
+      rep.Wal.torn = None
+      && List.length rep.Wal.records = List.length group
+      && List.for_all2 Wal.record_equal group rep.Wal.records)
+
+let prop_group_bit_flip =
+  prop "any single bit flip of a grouped log never silently replays it"
+    ~count:120
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 7))
+    (fun (pos, bit) ->
+      let r1 = { Wal.seq = 1; rows = [ ("T", [ [| Rtype.V_int 1 |] ]) ] } in
+      let group =
+        [
+          { Wal.seq = 2; rows = [ ("T", [ [| Rtype.V_string "a\nb" |] ]) ] };
+          { Wal.seq = 3; rows = [] };
+        ]
+      in
+      let originals = r1 :: group in
+      let img =
+        "LEGODB-WAL 1\n" ^ Wal.encode_record r1 ^ Wal.encode_group group
+      in
+      let flipped = flip_bit img (pos mod String.length img) bit in
+      match Wal.replay_string flipped with
+      | exception Wal.Corrupt m -> not (String.contains m '\n')
+      | rep ->
+          (* tolerated only as a *reported* torn tail that drops whole
+             commit units — a flip must never split a group or
+             masquerade as the intact log *)
+          rep.Wal.torn <> None
+          && List.length rep.Wal.records < List.length originals
+          && List.for_all2 Wal.record_equal rep.Wal.records
+               (List.filteri
+                  (fun i _ -> i < List.length rep.Wal.records)
+                  originals))
+
+let props =
+  [ prop_roundtrip; prop_bit_flip; prop_group_roundtrip; prop_group_bit_flip ]
