@@ -348,12 +348,34 @@ let serve_cmd =
     let doc = "Commit an append group once it holds $(docv) appends." in
     Arg.(value & opt int 64 & info [ "max-group" ] ~docv:"N" ~doc)
   in
+  let idle_timeout_ms =
+    let doc =
+      "Reap a connection that has neither moved a byte nor been owed a \
+       response for $(docv) milliseconds (network mode only)."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "idle-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_conns =
+    let doc =
+      "Park the listener while $(docv) connections are open — pending peers \
+       wait in the kernel backlog and are accepted as slots free up \
+       (network mode only)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
   let run schema_name config workload scale seed served_doc requests jobs
       data_dir appends publish_every crash_after timeout_ms listen
-      group_commit_ms max_group =
+      group_commit_ms max_group idle_timeout_ms max_conns =
     if group_commit_ms < 0 then
       fail "--group-commit-ms must be >= 0 (got %d)" group_commit_ms
     else if max_group < 1 then fail "--max-group must be >= 1 (got %d)" max_group
+    else if (match idle_timeout_ms with Some ms -> ms < 1 | None -> false) then
+      fail "--idle-timeout-ms must be >= 1"
+    else if (match max_conns with Some m -> m < 1 | None -> false) then
+      fail "--max-conns must be >= 1"
     else
     let server =
       match data_dir with
@@ -392,14 +414,18 @@ let serve_cmd =
         let previous =
           Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
         in
-        Fun.protect
-          ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
-          (fun () ->
-            Net.serve ~group_commit_ms ~max_group ?timeout_ms ~stop
-              ~on_listen:(fun p ->
-                Format.printf "listening on 127.0.0.1:%d@." p)
-              ~port server);
+        let net =
+          Fun.protect
+            ~finally:(fun () -> Sys.set_signal Sys.sigint previous)
+            (fun () ->
+              Net.serve ~group_commit_ms ~max_group ?idle_timeout_ms
+                ?max_conns ?timeout_ms ~stop
+                ~on_listen:(fun p ->
+                  Format.printf "listening on 127.0.0.1:%d@." p)
+                ~port server)
+        in
         Format.printf "%a@." Serve.pp_stats (Serve.stats server);
+        Format.printf "%a@." Net.pp_net_stats net;
         `Ok ()
     | Ok server -> (
         match load_workload workload with
@@ -454,7 +480,8 @@ let serve_cmd =
       ret
         (const run $ schema_arg $ config_arg $ workload_arg $ scale $ seed
        $ served_doc $ requests $ jobs $ data_dir $ appends $ publish_every
-       $ crash_after $ timeout_ms $ listen $ group_commit_ms $ max_group))
+       $ crash_after $ timeout_ms $ listen $ group_commit_ms $ max_group
+       $ idle_timeout_ms $ max_conns))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -500,6 +527,25 @@ let query_cmd =
       value & flag
       & info [ "server-stats" ] ~doc:"Print the server's counters at the end.")
   in
+  let concurrency =
+    let doc =
+      "Drive the $(b,--requests) replay over $(docv) pipelined connections \
+       from this one process: each round sends one query per connection \
+       before awaiting any response, so the server sees them in one select \
+       tick and answers them as one shared batch.  A sample of the answers \
+       is re-asked sequentially afterwards and checked bit-identical."
+    in
+    Arg.(value & opt int 1 & info [ "concurrency" ] ~docv:"N" ~doc)
+  in
+  let depth =
+    let doc =
+      "Pipeline $(docv) queries per connection per round, corked into a \
+       single write each — the whole chunk reaches the server in one read, \
+       so shared batches form deterministically instead of depending on \
+       scheduler timing.  Only meaningful with $(b,--concurrency)."
+    in
+    Arg.(value & opt int 1 & info [ "depth" ] ~docv:"D" ~doc)
+  in
   let corrupt_probe =
     let doc =
       "Protocol check: send a deliberately bit-flipped request frame and \
@@ -518,9 +564,14 @@ let query_cmd =
       Rtype.pp_value fmt row
   in
   let run connect_s workload ping appends seed do_publish requests
-      server_stats corrupt_probe query_text =
+      server_stats concurrency depth corrupt_probe query_text =
     match Net.parse_endpoint connect_s with
     | Error m -> fail "%s" m
+    | Ok (host, port) when concurrency < 1 ->
+        ignore host;
+        ignore port;
+        fail "--concurrency must be >= 1 (got %d)" concurrency
+    | Ok _ when depth < 1 -> fail "--depth must be >= 1 (got %d)" depth
     | Ok (host, port) -> (
         if corrupt_probe then begin
           (* a framing error costs the connection, so the probe gets a
@@ -595,25 +646,108 @@ let query_cmd =
                         Format.asprintf "%a" Xq_ast.pp q)
                       w)
                in
+               (* the [cached] flag legitimately differs between a
+                  query's first and later answers; everything else must
+                  be bit-identical *)
+               let canon = function
+                 | Net.Rows { rows; _ } ->
+                     Some (Net.encode_response (Net.Rows { rows; cached = false }))
+                 | _ -> None
+               in
                let latencies = Array.make requests 0. in
                let errs = ref 0 in
-               let t0 = Unix.gettimeofday () in
-               for i = 0 to requests - 1 do
-                 let q0 = Unix.gettimeofday () in
-                 (match
-                    Net.rpc c (Net.Query texts.(i mod Array.length texts))
-                  with
-                 | Net.Rows _ -> ()
-                 | _ -> incr errs);
-                 latencies.(i) <- Unix.gettimeofday () -. q0
-               done;
-               let wall_s = Unix.gettimeofday () -. t0 in
-               Format.printf "network: %a%s@." Serve.pp_summary
-                 (Serve.summarize ~wall_s latencies)
-                 (if !errs > 0 then Printf.sprintf " (%d errors)" !errs else ""));
+               (* first concurrent-path answer per distinct query text,
+                  for the sequential recheck below *)
+               let samples = Hashtbl.create 16 in
+               if concurrency = 1 then begin
+                 let t0 = Unix.gettimeofday () in
+                 for i = 0 to requests - 1 do
+                   let q0 = Unix.gettimeofday () in
+                   (match
+                      Net.rpc c (Net.Query texts.(i mod Array.length texts))
+                    with
+                   | Net.Rows _ -> ()
+                   | _ -> incr errs);
+                   latencies.(i) <- Unix.gettimeofday () -. q0
+                 done;
+                 let wall_s = Unix.gettimeofday () -. t0 in
+                 Format.printf "network: %a%s@." Serve.pp_summary
+                   (Serve.summarize ~wall_s latencies)
+                   (if !errs > 0 then Printf.sprintf " (%d errors)" !errs
+                    else "")
+               end
+               else begin
+                 let peers =
+                   Array.init concurrency (fun _ -> Net.connect ~host ~port ())
+                 in
+                 Fun.protect
+                   ~finally:(fun () -> Array.iter Net.close peers)
+                 @@ fun () ->
+                 let t0 = Unix.gettimeofday () in
+                 let cork = Buffer.create 1024 in
+                 let i = ref 0 in
+                 while !i < requests do
+                   (* one round: request !i + t rides connection
+                      (t mod concurrency); every connection's [depth]
+                      queries go out corked into one write before any
+                      response is awaited, so the server reads whole
+                      chunks in one tick and answers them as shared
+                      batches *)
+                   let k = min (concurrency * depth) (requests - !i) in
+                   let sent = Unix.gettimeofday () in
+                   for j = 0 to min concurrency k - 1 do
+                     Buffer.clear cork;
+                     let t = ref j in
+                     while !t < k do
+                       Buffer.add_string cork
+                         (Net.encode_request
+                            (Net.Query
+                               texts.((!i + !t) mod Array.length texts)));
+                       t := !t + concurrency
+                     done;
+                     Net.send_raw peers.(j) (Buffer.contents cork)
+                   done;
+                   for t = 0 to k - 1 do
+                     let text = texts.((!i + t) mod Array.length texts) in
+                     (match Net.recv peers.(t mod concurrency) with
+                     | Net.Rows _ as r ->
+                         if not (Hashtbl.mem samples text) then
+                           Option.iter
+                             (Hashtbl.add samples text)
+                             (canon r)
+                     | _ -> incr errs);
+                     latencies.(!i + t) <- Unix.gettimeofday () -. sent
+                   done;
+                   i := !i + k
+                 done;
+                 let wall_s = Unix.gettimeofday () -. t0 in
+                 Format.printf "network (%d conns%s): %a%s@." concurrency
+                   (if depth > 1 then Printf.sprintf " x %d deep" depth
+                    else "")
+                   Serve.pp_summary
+                   (Serve.summarize ~wall_s latencies)
+                   (if !errs > 0 then Printf.sprintf " (%d errors)" !errs
+                    else "");
+                 (* every distinct answer seen concurrently must match
+                    the same query asked sequentially *)
+                 let total = ref 0 and same = ref 0 in
+                 Hashtbl.iter
+                   (fun text enc ->
+                     incr total;
+                     match canon (Net.rpc c (Net.Query text)) with
+                     | Some enc' when String.equal enc enc' -> incr same
+                     | _ -> ())
+                   samples;
+                 Format.printf "sampled recheck: %d/%d answers bit-identical@."
+                   !same !total;
+                 if !same < !total then failed := true
+               end);
         (if server_stats then
            match Net.rpc c Net.Stats with
-           | Net.Stats_reply s -> Format.printf "%a@." Serve.pp_stats s
+           | Net.Stats_reply { serve; net } ->
+               Format.printf "%a@." Serve.pp_stats serve;
+               if net.Net.ticks > 0 then
+                 Format.printf "%a@." Net.pp_net_stats net
            | r -> Format.eprintf "stats: %s@." (describe r));
         if !failed then fail "the query was not answered" else `Ok ())
   in
@@ -621,7 +755,8 @@ let query_cmd =
     Term.(
       ret
         (const run $ connect $ workload_arg $ ping $ appends $ seed
-       $ do_publish $ requests $ server_stats $ corrupt_probe $ query_text))
+       $ do_publish $ requests $ server_stats $ concurrency $ depth
+       $ corrupt_probe $ query_text))
   in
   Cmd.v
     (Cmd.info "query"

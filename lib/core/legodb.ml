@@ -46,6 +46,7 @@ module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
 module Wal = Legodb_serve.Wal
 module Net = Legodb_serve.Net
+module Iobuf = Legodb_serve.Iobuf
 
 module Imdb = struct
   module Schema = Legodb_imdb.Imdb_schema

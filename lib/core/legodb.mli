@@ -60,6 +60,7 @@ module Par = Legodb_search.Par
 module Serve = Legodb_serve.Serve
 module Wal = Legodb_serve.Wal
 module Net = Legodb_serve.Net
+module Iobuf = Legodb_serve.Iobuf
 
 (** The IMDB application of the paper's evaluation. *)
 module Imdb : sig

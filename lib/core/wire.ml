@@ -12,32 +12,28 @@ let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 (* CRC-32 (IEEE 802.3), table-driven                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* computed in native ints (CRC-32 fits in OCaml's 63-bit int with room
+   to spare): the boxed-Int32 version allocated three boxes per input
+   byte, which made checksumming the dominant cost of the network
+   serving path.  Only the final result is boxed, so the public
+   signature keeps its Int32. *)
 let crc_table =
   lazy
     (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
+         let c = ref n in
          for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
+           c := if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
          done;
          !c))
 
 let crc32 s =
   let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      c :=
-        Int32.logxor
-          table.(Int32.to_int
-                   (Int32.logand
-                      (Int32.logxor !c (Int32.of_int (Char.code ch)))
-                      0xFFl))
-          (Int32.shift_right_logical !c 8))
-    s;
-  Int32.logxor !c 0xFFFFFFFFl
+  let c = ref 0xFFFFFFFF in
+  for i = 0 to String.length s - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+         lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
 
 (* ------------------------------------------------------------------ *)
 (* payload writers                                                     *)

@@ -1,8 +1,8 @@
 (** The query server's network front door: a TCP request/response
     protocol in the {!Legodb_wire.Wire} frame format, a single-threaded
-    [select] server that batches concurrently-arriving work into
-    {!Serve.run_batch} calls and group-commits appends, and the small
-    blocking client the CLI's [legodb query --connect] uses.
+    [select] tick loop that batches concurrently-arriving work into
+    shared {!Serve.run_batch} calls and group-commits appends, and the
+    small blocking client the CLI's [legodb query --connect] uses.
 
     {2 The protocol}
 
@@ -25,21 +25,26 @@
     resynchronization point, so the connection is the unit of failure.
     Other connections are unaffected.
 
-    {2 Batching and group commit}
+    {2 The tick loop}
 
-    The server is one [select] loop: requests that arrive concurrently
-    (across connections, or pipelined on one) are collected and
-    answered together — queries fan out on one {!Serve.run_batch}
-    call per loop round, appends accumulate into a group that is
-    committed by one {!Serve.append_group} (one WAL write + one fsync
-    for the whole group) when the group reaches [max_group] appends or
-    its oldest member has waited [group_commit_ms].  An append is
-    acknowledged ({!Acked}) only after its group's fsync returns, so
-    the PR 8 invariant survives the network: an acked append is never
-    lost, an unacked one is cleanly absent after a crash.
-
-    Responses are delivered per connection in request order (a
-    pipelined client can match them positionally). *)
+    The server is one [select] loop.  Each tick: accept (unless at the
+    [max_conns] cap), one read per ready connection into its
+    persistent input buffer, frame extraction by offset arithmetic
+    (never re-scanning or re-copying buffered bytes — see {!Iobuf}),
+    then {e all} decodable queries from {e all} connections this tick
+    are answered by one shared {!Serve.run_batch} (one pinned
+    snapshot, one pool fan-out per tick instead of one per
+    connection).  Appends accumulate into a group committed by one
+    {!Serve.append_group} (one WAL write + one fsync for the whole
+    group) when the group reaches [max_group] appends or its oldest
+    member has waited [group_commit_ms]; an append is acknowledged
+    ({!Acked}) only after its group's fsync returns, so the PR 8
+    invariant survives the network.  Responses are encoded straight
+    into each connection's persistent output buffer and written
+    optimistically in the same tick; a partial write just advances an
+    offset.  Responses are delivered per connection in request order
+    (a pipelined client can match them positionally), and the loop
+    publishes its own observability counters as {!net_stats}. *)
 
 (** {1 Messages} *)
 
@@ -50,6 +55,40 @@ type request =
   | Stats
   | Ping
 
+(** What the event loop itself did — engine-side counters live in
+    {!Serve.stats}.  [batch_hist.(k)] counts select ticks whose shared
+    query batch held [k] queries, the last bucket absorbing everything
+    at or above it; mass at index ≥ 2 proves cross-connection (or
+    pipelined) batching actually formed.  [select_s]/[work_s] split
+    wall time into waiting-for-readiness vs processing. *)
+type net_stats = {
+  ticks : int;
+  batches : int;
+  batched_queries : int;
+  batch_hist : int array;
+  max_batch : int;
+  replayed : int;
+      (** queries answered from the front-door replay cache — the
+          finished frame of an identical earlier query against the same
+          published snapshot, blitted straight into the output buffer *)
+  bytes_in : int;
+  bytes_out : int;
+  select_s : float;
+  work_s : float;
+  accepted : int;
+  idle_reaped : int;  (** connections reaped by [idle_timeout_ms] *)
+  at_capacity : int;  (** ticks the listener was parked by [max_conns] *)
+}
+
+val net_stats_zero : net_stats
+val hist_buckets : int
+
+val shared_batches : net_stats -> int
+(** Batches of size ≥ 2 — the cross-connection-batching evidence the
+    bench and CI smoke assert on. *)
+
+val pp_net_stats : Format.formatter -> net_stats -> unit
+
 type response =
   | Rows of {
       rows : Legodb_relational.Rtype.value list list;
@@ -57,7 +96,10 @@ type response =
     }  (** a query's answer — same payload as {!Serve.reply} *)
   | Acked  (** the append's group fsync returned; it is durable *)
   | Published
-  | Stats_reply of Serve.stats
+  | Stats_reply of { serve : Serve.stats; net : net_stats }
+      (** engine counters plus the serving loop's own ({!net_stats} is
+          all zeros when the answering loop predates the counters,
+          e.g. {!serve_reference}) *)
   | Pong
   | Error_reply of string
       (** a structured failure: parse error, untranslatable query,
@@ -76,18 +118,60 @@ val decode_request : string -> request
 val decode_response : string -> response
 (** @raise Legodb_wire.Wire.Corrupt *)
 
-val extract : string -> [ `Frame of string * string | `Partial | `Broken of string ]
+val extract_frame : Iobuf.t -> [ `Frame of string | `Partial | `Broken of string ]
 (** The streaming frame extractor both ends parse the byte stream
-    with: [`Frame (payload, rest)] is one validated frame's payload
-    plus the bytes after it, [`Partial] means the data so far is a
-    legal prefix (keep reading), [`Broken] is a framing defect — bad
-    magic, impossible length, checksum mismatch — with a one-line
-    diagnosis.  Exposed so the protocol-fuzz tests exercise exactly
-    the production parser. *)
+    with: [`Frame payload] is one validated frame's payload, whose
+    bytes have been consumed from the buffer; [`Partial] means the
+    bytes so far are a legal prefix (keep reading — the buffer's scan
+    watermark makes the re-poll O(1)); [`Broken] is a framing defect —
+    bad magic, impossible length, checksum mismatch — with a one-line
+    diagnosis. *)
+
+val extract : string -> [ `Frame of string * string | `Partial | `Broken of string ]
+(** String-oriented wrapper over {!extract_frame} ([`Frame (payload,
+    rest)] carries the bytes after the frame), kept so the
+    protocol-fuzz tests exercise exactly the production parser. *)
 
 (** {1 Server} *)
 
 val serve :
+  ?host:string ->
+  ?group_commit_ms:int ->
+  ?max_group:int ->
+  ?idle_timeout_ms:int ->
+  ?max_conns:int ->
+  ?timeout_ms:int ->
+  ?max_write:int ->
+  ?stop:bool ref ->
+  ?on_listen:(int -> unit) ->
+  port:int ->
+  Serve.t ->
+  net_stats
+(** Run the tick loop until [!stop] (checked at least every 250ms)
+    becomes true, then close every connection and return the loop's
+    final {!net_stats}.  [?host] (default ["127.0.0.1"]) is the bind
+    address; [~port] [0] binds an ephemeral port.  [?on_listen] is
+    called once with the actually bound port, after [listen] succeeds
+    and before the first accept — the tests' startup handshake.
+    [?group_commit_ms] (default [5]) bounds how long the oldest staged
+    append waits for its group's fsync; [0] still groups appends that
+    arrived in the same tick.  [?max_group] (default [64]) caps a
+    group's size.  [?idle_timeout_ms] reaps connections that have
+    neither transferred a byte nor been owed a response for that long
+    (default: never).  [?max_conns] parks the listener while that many
+    connections are open — pending peers wait in the kernel backlog
+    and are accepted as slots free up (default: unbounded).
+    [?timeout_ms] is handed to {!Serve.run_batch} as each query's
+    budget.  [?max_write] caps the bytes any single [write] may move —
+    the tests' short-write injection seam, not for production use.
+    Appends still waiting for a group at stop time were never
+    acknowledged, and are dropped with their connections.
+    @raise Invalid_argument on [group_commit_ms < 0], [max_group < 1],
+    [idle_timeout_ms < 1], [max_conns < 1], or [max_write < 1]
+    @raise Unix.Unix_error e.g. when the port is already bound
+    ([EADDRINUSE] — the CLI maps this family to exit code 9). *)
+
+val serve_reference :
   ?host:string ->
   ?group_commit_ms:int ->
   ?max_group:int ->
@@ -97,27 +181,21 @@ val serve :
   port:int ->
   Serve.t ->
   unit
-(** Run the accept loop until [!stop] (checked at least every 250ms)
-    becomes true, then close every connection and return.  [?host]
-    (default ["127.0.0.1"]) is the bind address; [~port] [0] binds an
-    ephemeral port.  [?on_listen] is called once with the actually
-    bound port, after [listen] succeeds and before the first accept —
-    the tests' startup handshake.  [?group_commit_ms] (default [5])
-    bounds how long the oldest staged append waits for its group's
-    fsync; [0] still groups appends that arrived in the same loop
-    round.  [?max_group] (default [64]) caps a group's size.
-    [?timeout_ms] is handed to {!Serve.run_batch} as each query's
-    budget.  Appends still waiting for a group at stop time were never
-    acknowledged, and are dropped with their connections.
-    @raise Invalid_argument on [group_commit_ms < 0] or [max_group < 1]
-    @raise Unix.Unix_error e.g. when the port is already bound
-    ([EADDRINUSE] — the CLI maps this family to exit code 9). *)
+(** The front door as PR 9 shipped it — fresh 64 KiB read buffer per
+    read, quadratic string rebuilds, responses written one select
+    round late — kept as the adjacent same-machine baseline the
+    serve_perf bench measures the reworked loop against (the role
+    [Optimizer_reference] plays for the optimizer).  Same protocol,
+    same answers; its [Stats_reply] carries {!net_stats_zero}.  Not
+    for production use. *)
 
 (** {1 Client} *)
 
 type client
 (** A blocking connection to a server.  Not thread-safe; one request
-    pipeline per client. *)
+    pipeline per client.  Received bytes accumulate in a persistent
+    offset-carrying buffer, so multi-frame and multi-read responses
+    cost one pass over their bytes. *)
 
 exception Protocol_error of string
 (** The peer broke the framing protocol (bad magic, checksum mismatch,
@@ -141,6 +219,11 @@ val send_raw : client -> string -> unit
 
 val recv : client -> response
 (** Block for the next response frame.
+    @raise Protocol_error @raise Closed *)
+
+val recv_raw : client -> string
+(** Like {!recv} but return the CRC-validated payload without decoding
+    it — for replay tools and throughput clients that only sample-decode.
     @raise Protocol_error @raise Closed *)
 
 val rpc : client -> request -> response

@@ -50,6 +50,8 @@ type stats = {
   wal_fsyncs : int;
   wal_groups : int;
   wal_max_group : int;
+  batches : int;
+  max_batch : int;
 }
 
 (* durability state: the WAL every acknowledged append is fsynced to,
@@ -78,6 +80,8 @@ type t = {
   mutable misses : int;
   mutable published : int;
   mutable pending : int;
+  mutable batches : int;
+  mutable max_batch : int;
   jobs : int;
   params : Cost.params;
   clock : unit -> float;
@@ -112,6 +116,8 @@ let make ?(jobs = 0) ?(params = Cost.default_params)
     misses = 0;
     published = 0;
     pending = 0;
+    batches = 0;
+    max_batch = 0;
     jobs;
     params;
     clock;
@@ -240,6 +246,9 @@ let run_batch ?timeout_ms t qs =
   (* the whole batch reads one snapshot: a publish racing the batch
      swaps the snapshot for *later* batches, it never tears this one *)
   let snap = Atomic.get t.snap in
+  Serve_lock.with_lock t.lock (fun () ->
+      t.batches <- t.batches + 1;
+      t.max_batch <- max t.max_batch n);
   let out = Array.make n (Error "unanswered") in
   ignore
     (Par.run_tasks ~jobs:t.jobs n (fun ~worker:_ i ->
@@ -491,6 +500,8 @@ let stats t =
         wal_fsyncs = w.Wal.fsyncs;
         wal_groups = w.Wal.groups;
         wal_max_group = w.Wal.max_group;
+        batches = t.batches;
+        max_batch = t.max_batch;
       })
 
 (* ------------------------------------------------------------------ *)
@@ -539,6 +550,8 @@ let pp_stats fmt (s : stats) =
      publishes, %d pending appends"
     s.served s.cache_hits s.cache_misses s.snapshot_rows s.snapshots_published
     s.pending_appends;
+  if s.batches > 0 then
+    Format.fprintf fmt "; %d batches (max %d)" s.batches s.max_batch;
   if s.wal_appends > 0 then
     Format.fprintf fmt
       "; wal: %d appends in %d groups (max %d), %.2f fsyncs/append"

@@ -85,6 +85,8 @@ type stats = {
                          is what group commit drives below 1.0 *)
   wal_groups : int;  (** commit units written *)
   wal_max_group : int;  (** largest group one fsync acknowledged *)
+  batches : int;  (** {!run_batch} calls *)
+  max_batch : int;  (** largest batch one call fanned out *)
 }
 (** The four [wal_*] counters are all zero when durability is off. *)
 

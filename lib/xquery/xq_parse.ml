@@ -295,6 +295,14 @@ and parse_rets st acc =
       | TClose _ -> fail st ("mismatched closing tag for <" ^ tag ^ ">")
       | _ -> fail st ("missing </" ^ tag ^ ">"))
   | TFor -> parse_rets st (Xq_ast.R_nested (parse_flwr st) :: acc)
+  | TLparen ->
+      (* parenthesized nested FLWR — the form {!Xq_ast.pp} prints, since
+         the parens mark where the inner RETURN list ends and the outer
+         one resumes *)
+      advance st;
+      let f = parse_flwr st in
+      expect st TRparen ") after a nested FOR";
+      parse_rets st (Xq_ast.R_nested f :: acc)
   | _ -> List.rev acc
 
 let parse ?(name = "query") input =

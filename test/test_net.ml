@@ -65,7 +65,8 @@ let q_asts = List.map (Xq_parse.parse ~name:"net") q_texts
 (* harness: a served corpus on an ephemeral port, in a thread          *)
 (* ------------------------------------------------------------------ *)
 
-let run_server ?group_commit_ms ?max_group ?timeout_ms server f =
+let run_server ?group_commit_ms ?max_group ?idle_timeout_ms ?max_conns
+    ?timeout_ms ?max_write ?net_out server f =
   let stop = ref false in
   let port = ref None in
   let failure = ref None in
@@ -73,9 +74,14 @@ let run_server ?group_commit_ms ?max_group ?timeout_ms server f =
     Thread.create
       (fun () ->
         try
-          Net.serve ?group_commit_ms ?max_group ?timeout_ms ~stop
-            ~on_listen:(fun p -> port := Some p)
-            ~port:0 server
+          let net =
+            Net.serve ?group_commit_ms ?max_group ?idle_timeout_ms ?max_conns
+              ?timeout_ms ?max_write ~stop
+              ~on_listen:(fun p -> port := Some p)
+              ~port:0 server
+          in
+          (* the loop's final counters, visible once [halt] has joined *)
+          Option.iter (fun r -> r := net) net_out
         with e -> failure := Some e)
       ()
   in
@@ -118,7 +124,11 @@ let expect_error name = function
   | _ -> Alcotest.failf "%s: expected an error reply" name
 
 let expect_stats name = function
-  | Net.Stats_reply s -> s
+  | Net.Stats_reply { serve; _ } -> serve
+  | _ -> Alcotest.failf "%s: expected a stats reply" name
+
+let expect_net_stats name = function
+  | Net.Stats_reply { net; _ } -> net
   | _ -> Alcotest.failf "%s: expected a stats reply" name
 
 (* ------------------------------------------------------------------ *)
@@ -332,6 +342,256 @@ let suite =
                     (Net.rpc c (Net.Query (List.hd q_texts)))
                 in
                 check_bool "still serving" true (rows <> []))));
+    case "a pipelined burst is answered as one shared batch" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let net_final = ref Net.net_stats_zero in
+        let answers =
+          run_server ~net_out:net_final server (fun port ->
+              with_client port (fun c ->
+                  (* all eight query frames land in one write, so the
+                     server reads them in one tick and fans them out as
+                     one run_batch *)
+                  let blob =
+                    String.concat ""
+                      (List.init 8 (fun i ->
+                           Net.encode_request
+                             (Net.Query (List.nth q_texts (i mod 3)))))
+                  in
+                  Net.send_raw c blob;
+                  List.init 8 (fun i ->
+                      expect_rows (Printf.sprintf "q%d" i) (Net.recv c))))
+        in
+        let reference =
+          List.map (fun ast -> (Serve.query server ast).Serve.rows) q_asts
+        in
+        List.iteri
+          (fun i rows ->
+            check_bool
+              (Printf.sprintf "answer %d bit-identical" i)
+              true
+              (rows = List.nth reference (i mod 3)))
+          answers;
+        let net = !net_final in
+        check_int "all eight were batched" 8 net.Net.batched_queries;
+        check_bool "a shared batch formed" true (Net.shared_batches net >= 1);
+        check_bool "histogram mass above 1" true (net.Net.max_batch >= 2);
+        check_bool "run_batch saw the shared batch" true
+          ((Serve.stats server).Serve.max_batch >= 2));
+    case "multi-frame large payloads round-trip bit-exactly" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        (* request side: one append whose frame spans >= 4 read chunks *)
+        let rec big_xml scale =
+          let text =
+            Xml.to_string
+              (Imdb.Gen.generate
+                 { (Imdb.Gen.scaled scale) with Imdb.Gen.seed = 7 })
+          in
+          if String.length text >= 4 * 65536 then text else big_xml (scale *. 2.)
+        in
+        let xml = big_xml 0.01 in
+        (* response side: enough pipelined answers that the client's
+           receive buffer spans >= 4 read chunks in one drain *)
+        let q = List.nth q_asts 1 in
+        let expected = (Serve.query server q).Serve.rows in
+        let resp_len =
+          String.length
+            (Net.encode_response (Net.Rows { rows = expected; cached = false }))
+        in
+        let k = (4 * 65536 / resp_len) + 1 in
+        run_server server (fun port ->
+            with_client port (fun c ->
+                (match Net.rpc c (Net.Append xml) with
+                | Net.Acked -> ()
+                | Net.Error_reply m ->
+                    Alcotest.failf "large append rejected: %s" m
+                | _ -> Alcotest.fail "large append: unexpected response");
+                for _ = 1 to k do
+                  Net.send c (Net.Query (List.nth q_texts 1))
+                done;
+                for i = 1 to k do
+                  let rows =
+                    expect_rows (Printf.sprintf "big drain %d" i) (Net.recv c)
+                  in
+                  check_bool
+                    (Printf.sprintf "pipelined answer %d bit-identical" i)
+                    true (rows = expected)
+                done));
+        check_bool "the append frame spans reads" true
+          (String.length (Net.encode_request (Net.Append xml)) >= 4 * 65536);
+        check_bool "the pipelined responses span reads" true
+          (k * resp_len >= 4 * 65536));
+    case "injected short writes deliver every response bit-exactly" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let answers =
+          (* every server write moves at most 64 bytes, so each frame
+             crosses many partial writes and ticks *)
+          run_server ~max_write:64 server (fun port ->
+              with_client port (fun c ->
+                  Net.send c Net.Ping;
+                  for _ = 1 to 5 do
+                    Net.send c (Net.Query (List.hd q_texts))
+                  done;
+                  (match Net.recv c with
+                  | Net.Pong -> ()
+                  | _ -> Alcotest.fail "expected pong first");
+                  List.init 5 (fun i ->
+                      expect_rows (Printf.sprintf "short-write %d" i)
+                        (Net.recv c))))
+        in
+        let local = (Serve.query server (List.hd q_asts)).Serve.rows in
+        check_bool "answers non-trivial" true (local <> []);
+        List.iteri
+          (fun i rows ->
+            check_bool
+              (Printf.sprintf "tail preserved bit-exactly (response %d)" i)
+              true (rows = local))
+          answers);
+    case "a slow reader buffers across ticks while others are served"
+      (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let n_slow = 40 in
+        let slow_answers =
+          (* 1 KiB per write: the slow connection's 40 pipelined answers
+             sit in its output buffer across many ticks, and the second
+             connection must keep being served meanwhile *)
+          run_server ~max_write:1024 server (fun port ->
+              let slow = Net.connect ~port () in
+              Fun.protect ~finally:(fun () -> Net.close slow) @@ fun () ->
+              for _ = 1 to n_slow do
+                Net.send slow (Net.Query (List.nth q_texts 1))
+              done;
+              with_client port (fun b ->
+                  for i = 1 to 10 do
+                    match Net.rpc b Net.Ping with
+                    | Net.Pong -> ()
+                    | _ ->
+                        Alcotest.failf
+                          "connection starved behind the slow reader (ping %d)"
+                          i
+                  done);
+              List.init n_slow (fun i ->
+                  expect_rows (Printf.sprintf "slow %d" i) (Net.recv slow)))
+        in
+        let local = (Serve.query server (List.nth q_asts 1)).Serve.rows in
+        List.iteri
+          (fun i rows ->
+            check_bool
+              (Printf.sprintf "slow answer %d bit-identical, in order" i)
+              true (rows = local))
+          slow_answers);
+    case "idle connections are reaped, busy and owed ones are not" (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let net_final = ref Net.net_stats_zero in
+        run_server ~idle_timeout_ms:60 ~net_out:net_final server (fun port ->
+            with_client port (fun busy ->
+                (* a connection that keeps moving bytes outlives many
+                   idle windows *)
+                let until = Unix.gettimeofday () +. 0.25 in
+                while Unix.gettimeofday () < until do
+                  (match Net.rpc busy Net.Ping with
+                  | Net.Pong -> ()
+                  | _ -> Alcotest.fail "busy connection broke");
+                  Thread.delay 0.01
+                done);
+            let idle = Net.connect ~port () in
+            Fun.protect ~finally:(fun () -> Net.close idle) @@ fun () ->
+            (match Net.rpc idle Net.Ping with
+            | Net.Pong -> ()
+            | _ -> Alcotest.fail "expected pong");
+            Thread.delay 0.3;
+            match Net.recv idle with
+            | exception Net.Closed -> ()
+            | exception Net.Protocol_error _ -> ()
+            | _ -> Alcotest.fail "expected the idle connection reaped");
+        check_bool "the reap was counted" true
+          (!net_final.Net.idle_reaped >= 1));
+    case "the listener parks at max-conns and resumes as slots free"
+      (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let net_final = ref Net.net_stats_zero in
+        run_server ~max_conns:2 ~net_out:net_final server (fun port ->
+            let c1 = Net.connect ~port () in
+            let c2 = Net.connect ~port () in
+            (match (Net.rpc c1 Net.Ping, Net.rpc c2 Net.Ping) with
+            | Net.Pong, Net.Pong -> ()
+            | _ -> Alcotest.fail "expected pongs at capacity");
+            (* the third peer's handshake completes in the kernel
+               backlog, but the parked listener never accepts it *)
+            let c3 = Net.connect ~port () in
+            Fun.protect ~finally:(fun () -> Net.close c3) @@ fun () ->
+            Net.send c3 Net.Ping;
+            Thread.delay 0.1;
+            let net = expect_net_stats "stats" (Net.rpc c1 Net.Stats) in
+            check_int "only two accepted while full" 2 net.Net.accepted;
+            check_bool "the full house was counted" true
+              (net.Net.at_capacity >= 1);
+            Net.close c1;
+            Net.close c2;
+            (* with slots free the backlogged peer is accepted and its
+               buffered ping answered *)
+            match Net.recv c3 with
+            | Net.Pong -> ()
+            | _ -> Alcotest.fail "expected pong once a slot freed");
+        check_int "the third peer was eventually accepted" 3
+          !net_final.Net.accepted);
+    case "interleaved multi-connection traffic keeps per-connection order"
+      (fun () ->
+        let doc, m = setup () in
+        let server = Serve.create ~jobs:2 m (Shred.shred m doc) in
+        let texts = Array.of_list q_texts in
+        let expected =
+          Array.of_list
+            (List.map (fun ast -> (Serve.query server ast).Serve.rows) q_asts)
+        in
+        run_server server (fun port ->
+            (* each connection runs its own random script; rounds
+               interleave the sends across connections before any
+               response is read, so the server sees them mixed — every
+               connection must still get the sequential client's
+               answers in its own request order *)
+            let gen =
+              QCheck2.Gen.(
+                list_size (int_range 1 4)
+                  (list_size (int_range 0 6)
+                     (int_range 0 (Array.length texts - 1))))
+            in
+            QCheck2.Test.check_exn
+              (QCheck2.Test.make ~name:"per-connection order" ~count:15 gen
+                 (fun scripts ->
+                   let conns =
+                     List.map (fun _ -> Net.connect ~port ()) scripts
+                   in
+                   Fun.protect
+                     ~finally:(fun () -> List.iter Net.close conns)
+                     (fun () ->
+                       let rounds =
+                         List.fold_left
+                           (fun acc s -> max acc (List.length s))
+                           0 scripts
+                       in
+                       for r = 0 to rounds - 1 do
+                         List.iter2
+                           (fun c s ->
+                             match List.nth_opt s r with
+                             | Some qi -> Net.send c (Net.Query texts.(qi))
+                             | None -> ())
+                           conns scripts
+                       done;
+                       List.for_all2
+                         (fun c s ->
+                           List.for_all
+                             (fun qi ->
+                               match Net.recv c with
+                               | Net.Rows { rows; _ } -> rows = expected.(qi)
+                               | _ -> false)
+                             s)
+                         conns scripts)))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -370,24 +630,62 @@ let gen_response =
           bool;
         return Net.Acked;
         return Net.Published;
-        map
-          (function
-            | [ a; b; c; d; e; f; g; h; i; j ] ->
+        map3
+          (fun serve_ints net_ints (hist, (select_s, work_s)) ->
+            match (serve_ints, net_ints) with
+            | ( [ a; b; c; d; e; f; g; h; i; j; k; l ],
+                [
+                  ticks;
+                  batches;
+                  batched_queries;
+                  max_batch;
+                  replayed;
+                  bytes_in;
+                  bytes_out;
+                  accepted;
+                  idle_reaped;
+                  at_capacity;
+                ] ) ->
                 Net.Stats_reply
                   {
-                    Serve.served = a;
-                    cache_hits = b;
-                    cache_misses = c;
-                    snapshot_rows = d;
-                    snapshots_published = e;
-                    pending_appends = f;
-                    wal_appends = g;
-                    wal_fsyncs = h;
-                    wal_groups = i;
-                    wal_max_group = j;
+                    serve =
+                      {
+                        Serve.served = a;
+                        cache_hits = b;
+                        cache_misses = c;
+                        snapshot_rows = d;
+                        snapshots_published = e;
+                        pending_appends = f;
+                        wal_appends = g;
+                        wal_fsyncs = h;
+                        wal_groups = i;
+                        wal_max_group = j;
+                        batches = k;
+                        max_batch = l;
+                      };
+                    net =
+                      {
+                        Net.ticks;
+                        batches;
+                        batched_queries;
+                        batch_hist = Array.of_list hist;
+                        max_batch;
+                        replayed;
+                        bytes_in;
+                        bytes_out;
+                        select_s;
+                        work_s;
+                        accepted;
+                        idle_reaped;
+                        at_capacity;
+                      };
                   }
             | _ -> assert false)
-          (list_repeat 10 (int_range 0 1_000_000));
+          (list_repeat 12 (int_range 0 1_000_000))
+          (list_repeat 10 (int_range 0 1_000_000))
+          (pair
+             (list_repeat Net.hist_buckets (int_range 0 1_000_000))
+             (pair (float_bound_inclusive 1000.) (float_bound_inclusive 1000.)));
         return Net.Pong;
         map
           (fun s -> Net.Error_reply s)

@@ -130,6 +130,24 @@ let suite =
                RETURN $a/name |}
         in
         check_int "four author bindings" 4 (Xq_eval.count_bindings books_doc q));
+    case "pp/parse round trip: every IMDB query" (fun () ->
+        (* [legodb query --connect] replays workloads as pp-printed
+           text, so every query the workloads can name must survive
+           print-then-reparse with its body intact — Q9/Q11/Q13's
+           parenthesized nested FLWRs once did not *)
+        List.iter
+          (fun (q : Xq_ast.t) ->
+            let text = Format.asprintf "%a" Xq_ast.pp q in
+            match Xq_parse.parse ~name:q.Xq_ast.name text with
+            | q' ->
+                check_bool
+                  (Printf.sprintf "%s body intact" q.Xq_ast.name)
+                  true
+                  (q'.Xq_ast.body = q.Xq_ast.body)
+            | exception Xq_parse.Parse_error { position; message } ->
+                Alcotest.failf "%s does not reparse (offset %d: %s)"
+                  q.Xq_ast.name position message)
+          Imdb.Queries.all);
     case "reference evaluator: existential predicate" (fun () ->
         let q =
           parse
